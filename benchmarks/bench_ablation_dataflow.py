@@ -1,0 +1,45 @@
+"""Ablation (extension): output-stationary vs weight-stationary dataflow.
+
+The paper evaluates the OS dataflow and lists WS as future work
+(section 4.1.2); this reproduction implements both.  This bench compares
+single-core latency per workload under each dataflow on the same system.
+"""
+
+import dataclasses
+
+from conftest import emit, run_once
+
+from repro.config import presets
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.report import format_table
+from repro.models import zoo
+
+
+def _cycles(name: str, dataflow: str) -> int:
+    system = presets.solo_slice()
+    arch = dataclasses.replace(system.arch[0], dataflow=dataflow)
+    system = dataclasses.replace(system, arch=(arch,))
+    return MultiCoreNPUSim(system, [zoo.mini(name)]).run().workloads[0].cycles
+
+
+def test_ablation_dataflow(benchmark):
+    def compute():
+        return {
+            name: {"os": _cycles(name, "os"), "ws": _cycles(name, "ws")}
+            for name in zoo.NAMES
+        }
+
+    data = run_once(benchmark, compute)
+    rows = [
+        (name, values["os"], values["ws"], round(values["os"] / values["ws"], 2))
+        for name, values in data.items()
+    ]
+    emit(format_table(
+        ["workload", "OS cycles", "WS cycles", "OS/WS"], rows,
+        title="\nAblation: dataflow choice (single-core, mini scale)",
+    ))
+    # Both dataflows must run everything; neither dominates universally —
+    # WS favors long activation streams, OS favors deep reductions.
+    ratios = [values["os"] / values["ws"] for values in data.values()]
+    assert all(v["os"] > 0 and v["ws"] > 0 for v in data.values())
+    assert max(ratios) > 1.0 or min(ratios) < 1.0

@@ -1,0 +1,53 @@
+"""Ablation: the page-walk cache (PWC) size.
+
+Walks read one page-table entry per radix level; consecutive pages share
+their upper-level entries, so a small per-core PWC removes most non-leaf
+DRAM reads.  DESIGN.md calls this out as the knob that keeps walk *cost*
+realistic while walk *bandwidth* stays the bottleneck.  This bench sweeps
+the PWC size on translation-heavy workloads.
+"""
+
+import dataclasses
+
+from conftest import emit, run_once
+
+from repro.config import presets
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.report import format_table
+from repro.models import zoo
+
+SIZES = (0, 4, 32)
+WORKLOADS = ("alex", "sfrnn", "dlrm", "gpt2")
+
+
+def _cycles(name: str, pwc: int) -> int:
+    system = presets.solo_slice()
+    npumem = dataclasses.replace(system.npumem[0], pwc_entries=pwc)
+    system = dataclasses.replace(system, npumem=(npumem,))
+    return MultiCoreNPUSim(system, [zoo.mini(name)]).run().workloads[0].cycles
+
+
+def test_ablation_pwc(benchmark):
+    def compute():
+        return {
+            name: {pwc: _cycles(name, pwc) for pwc in SIZES}
+            for name in WORKLOADS
+        }
+
+    data = run_once(benchmark, compute)
+    rows = []
+    for name, values in data.items():
+        base = values[0]
+        rows.append(
+            (name, base, *(round(base / values[pwc], 2) for pwc in SIZES[1:]))
+        )
+    emit(format_table(
+        ["workload", "no-PWC cycles"] + [f"speedup @{pwc}" for pwc in SIZES[1:]],
+        rows,
+        title="\nAblation: page-walk-cache size (single-core)",
+    ))
+    for name, values in data.items():
+        # A PWC never hurts, and translation-heavy workloads gain clearly.
+        assert values[4] <= values[0] * 1.01, name
+        assert values[32] <= values[4] * 1.01, name
+    assert data["alex"][0] / data["alex"][32] > 1.1

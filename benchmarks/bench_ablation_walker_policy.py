@@ -1,0 +1,80 @@
+"""Ablation (extension): walker-pool policies — static / DWS / fully shared.
+
+Section 2.2 of the paper discusses DWS (Pratheek et al., HPCA'21):
+dynamic page-walker *stealing* that lets a core borrow idle co-runner
+walkers while guaranteeing it can reclaim its own.  The walker pool's
+reservation bounds express this directly (``repro.mmu.ptw.dws_bounds``);
+this bench compares the three policies on contended dual-core mixes with
+a 2-walkers-per-core pool.
+"""
+
+import dataclasses
+
+from conftest import emit, run_once
+
+from repro.config import presets
+from repro.config.misc import MiscConfig
+from repro.core.metrics import geomean
+from repro.core.sharing import SharingLevel
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.report import format_table
+from repro.models import zoo
+
+MIXES = (("res", "sfrnn"), ("ds2", "dlrm"), ("alex", "gpt2"), ("ncf", "yt"))
+HOME_WALKERS = 2  # per core
+
+POLICIES = {
+    # (share_ptw, ptw_assignment, lower, upper)
+    "static 2:2": (False, (HOME_WALKERS, HOME_WALKERS), 0, 0),
+    "DWS steal": (True, None, 1, 3),   # dws_bounds({0:2,1:2}, 0.5) per core
+    "fully shared": (True, None, 0, 0),
+}
+
+
+def _mix_cycles(mix, policy):
+    share_ptw, assignment, lower, upper = POLICIES[policy]
+    system = presets.cloud_npu(2, SharingLevel.DWT)
+    npumem = tuple(
+        dataclasses.replace(cfg, num_ptw=HOME_WALKERS) for cfg in system.npumem
+    )
+    system = dataclasses.replace(
+        system,
+        npumem=npumem,
+        share_ptw=share_ptw,
+        ptw_assignment=assignment,
+        misc=MiscConfig(
+            iterations=1, start_stagger_cycles=1500,
+            ptw_lower_bound=lower, ptw_upper_bound=upper,
+        ),
+    )
+    result = MultiCoreNPUSim(system, [zoo.mini(name) for name in mix]).run()
+    return [w.cycles for w in result.workloads]
+
+
+def test_ablation_walker_policy(benchmark):
+    def compute():
+        return {
+            mix: {policy: _mix_cycles(mix, policy) for policy in POLICIES}
+            for mix in MIXES
+        }
+
+    data = run_once(benchmark, compute)
+    rows = []
+    speedups = {policy: [] for policy in POLICIES}
+    for mix, values in data.items():
+        base = values["static 2:2"]
+        row = ["+".join(mix)]
+        for policy in POLICIES:
+            gain = geomean([b / c for b, c in zip(base, values[policy])])
+            speedups[policy].append(gain)
+            row.append(round(gain, 3))
+        rows.append(tuple(row))
+    emit(format_table(
+        ["mix"] + list(POLICIES), rows,
+        title="\nAblation: walker-pool policy, geomean speedup vs static 2:2",
+    ))
+    overall = {policy: geomean(values) for policy, values in speedups.items()}
+    # DWS must be safe: never much worse than static (its reclaim
+    # guarantee), while retaining some of full sharing's upside.
+    assert overall["DWS steal"] > 0.97
+    assert overall["fully shared"] > 0.9

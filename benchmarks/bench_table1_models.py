@@ -1,0 +1,30 @@
+"""Table 1: the evaluated benchmark models."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figures
+from repro.experiments.report import format_table
+from repro.models import zoo
+
+
+def test_table1_models(benchmark):
+    rows = run_once(benchmark, lambda: figures.table1_models())
+    emit(format_table(
+        ["type", "model", "layers", "MACs", "bytes", "MACs/byte"],
+        [
+            (r["type"], r["model"], r["layers"], r["macs"],
+             r["unique_bytes"], r["arithmetic_intensity"])
+            for r in rows
+        ],
+        title="\nTable 1: evaluated benchmark models (mini scale)",
+    ))
+    assert len(rows) == 8
+    assert [r["model"] for r in rows] == list(zoo.NAMES)
+    by_type = {}
+    for row in rows:
+        by_type.setdefault(row["type"], []).append(row["model"])
+    # The paper's category counts: 3 CNNs, 2 RNNs, 2 recsys, 1 attention.
+    assert len(by_type["CNN"]) == 3
+    assert len(by_type["RNN"]) == 2
+    assert len(by_type["Recommendation"]) == 2
+    assert len(by_type["Attention"]) == 1

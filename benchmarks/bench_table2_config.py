@@ -1,0 +1,26 @@
+"""Table 2: the baseline mNPUsim configuration."""
+
+from conftest import emit, run_once
+
+from repro.experiments import figures
+from repro.experiments.report import format_mapping
+
+
+def test_table2_configuration(benchmark):
+    config = run_once(benchmark, lambda: figures.table2_configuration("full"))
+    emit(format_mapping("\nTable 2: basic configuration (full scale)", config))
+    # The paper's Table 2 values.
+    assert config["systolic_array"] == "128x128"
+    assert config["spm_bytes"] == 36 * 1024 * 1024
+    assert config["core_freq_mhz"] == 1000
+    assert config["tlb_associativity"] == 8
+    assert config["tlb_entries_per_npu"] == 2048
+    assert config["ptw_per_npu"] == 8
+    assert config["dram_model"] == "HBM2"
+    assert config["bandwidth_per_npu_gbs"] == 128.0
+
+    mini = figures.table2_configuration("mini")
+    emit(format_mapping("\nTable 2 (mini scale used by the sweeps)", mini))
+    # Mini keeps the architecture shape at reduced magnitude.
+    assert mini["systolic_array"] == "32x32"
+    assert mini["bandwidth_per_npu_gbs"] < config["bandwidth_per_npu_gbs"]

@@ -1,0 +1,70 @@
+"""Co-location what-if: how much does a co-runner slow my model down?
+
+The scenario the paper's introduction motivates: an inference service has
+profiled its model's solo latency, but on a multi-core NPU a co-located
+tenant contends for DRAM bandwidth, page-table walkers and TLB capacity,
+breaking the profiled-latency assumption SLO schedulers rely on.
+
+This example co-runs a victim model against every possible co-runner
+under each resource-sharing level and prints the victim's slowdown — the
+per-workload view behind the paper's Figures 4 and 8.
+
+Usage::
+
+    python examples/colocation_study.py [victim]
+"""
+
+import argparse
+
+from repro import MultiCoreNPUSim, presets, zoo
+from repro.core.sharing import CONTENDED_LEVELS, SharingLevel
+
+
+def ideal_cycles(name: str) -> int:
+    """The victim's latency alone on the full dual-core resource pool."""
+    per = presets.per_core_resources()
+    system = presets.solo_slice(
+        channels=per["channels"] * 2,
+        num_ptw=per["num_ptw"] * 2,
+        tlb_entries=per["tlb_entries"] * 2,
+    )
+    return MultiCoreNPUSim(system, [zoo.mini(name)]).run().workloads[0].cycles
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("victim", nargs="?", default="sfrnn", choices=zoo.NAMES)
+    args = parser.parse_args()
+
+    victim = args.victim
+    baseline = ideal_cycles(victim)
+    print(f"victim: {victim} (ideal latency {baseline:,} cycles)\n")
+    header = f"{'co-runner':10s}" + "".join(
+        f"{level.label:>10s}" for level in CONTENDED_LEVELS
+    )
+    print(header)
+    print("-" * len(header))
+
+    worst = (1.0, "none")
+    for co_runner in zoo.NAMES:
+        row = f"{co_runner:10s}"
+        for level in CONTENDED_LEVELS:
+            system = presets.cloud_npu(2, level)
+            result = MultiCoreNPUSim(
+                system, [zoo.mini(victim), zoo.mini(co_runner)]
+            ).run()
+            slowdown = result.workloads[0].cycles / baseline
+            row += f"{slowdown:10.2f}"
+            if level is SharingLevel.DWT and slowdown > worst[0]:
+                worst = (slowdown, co_runner)
+        print(row)
+
+    print(
+        f"\nworst +DWT co-runner for {victim}: {worst[1]} "
+        f"({worst[0]:.2f}x the profiled latency) — this is the dynamic "
+        "variance an SLO scheduler must absorb."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Design-space exploration with custom accelerators and custom models.
+
+The library is not tied to the paper's zoo or Table 2 system.  This
+example serves two bespoke models — a keyword-spotting CNN+GRU and a
+narrow sensor-MLP — on two NPU design points with the same silicon and
+bandwidth budget:
+
+* a big monolithic 64x64 core that must time-multiplex the two models;
+* a dual-core NPU (two 45x45 cores, 2x2025 ~ 4096 PEs) running them
+  concurrently, with statically partitioned or fully shared (+DWT)
+  memory resources.
+
+The monolithic core wins raw makespan (big tiles amortize its fill/drain
+overheads), but it head-of-line blocks the latency-critical sensor MLP
+behind the keyword spotter.  The dual-core design isolates the MLP's
+latency — the service-level-objective concern that motivates the paper —
+at a modest makespan cost, and dynamic sharing shows how much of the
+static split's contention loss is recoverable.
+
+Usage::
+
+    python examples/custom_accelerator.py
+"""
+
+from repro import MultiCoreNPUSim
+from repro.config import ArchConfig, DramConfig, MiscConfig, NpuMemConfig, SystemConfig
+from repro.core.sharing import SharingLevel
+from repro.models.layers import ConvLayer, DenseLayer, Network
+
+
+def speech_command_net(name: str = "kws") -> Network:
+    """A small keyword-spotting model: 3 convolutions + 2 GRUs + softmax."""
+    return Network(
+        name,
+        (
+            ConvLayer("conv1", 1, 49, 40, 64, 10, 4, stride=2),
+            ConvLayer("conv2", 64, 20, 19, 64, 3, 3, padding=1),
+            ConvLayer("conv3", 64, 20, 19, 96, 3, 3, padding=1),
+            DenseLayer("gru1", 3 * 128, 2 * 128, 20),
+            DenseLayer("gru2", 3 * 128, 2 * 128, 20),
+            DenseLayer("softmax", 12, 128, 20),
+        ),
+    )
+
+
+def sensor_mlp(name: str = "mlp") -> Network:
+    """A narrow anomaly-detection MLP: batch 4, so most PE columns idle."""
+    return Network(
+        name,
+        (
+            DenseLayer("fc1", 512, 256, 4),
+            DenseLayer("fc2", 512, 512, 4),
+            DenseLayer("fc3", 512, 512, 4),
+            DenseLayer("fc4", 256, 512, 4),
+            DenseLayer("fc5", 2, 256, 4),
+        ),
+    )
+
+
+def npumem() -> NpuMemConfig:
+    return NpuMemConfig(tlb_entries=64, tlb_assoc=8, num_ptw=1)
+
+
+def dram() -> DramConfig:
+    return DramConfig(channels=8, channel_bytes_per_cycle=16, queue_depth=256)
+
+
+def monolithic() -> SystemConfig:
+    """One big 64x64 core owning all resources."""
+    arch = ArchConfig(
+        name="mono", array_rows=64, array_cols=64, spm_bytes=1 << 20,
+        dram_transaction_bytes=256,
+    )
+    return SystemConfig(
+        arch=(arch,), npumem=(npumem(),), dram=dram(),
+        misc=MiscConfig(iterations=1),
+    )
+
+
+def dual(sharing: SharingLevel) -> SystemConfig:
+    """Two 45x45 cores (2 x 2025 PEs ~ one 64x64) on the same memory."""
+    arch = ArchConfig(
+        name="duo", array_rows=45, array_cols=45, spm_bytes=512 * 1024,
+        dram_transaction_bytes=256,
+    )
+    return SystemConfig(
+        arch=(arch,) * 2, npumem=(npumem(),) * 2, dram=dram(),
+        misc=MiscConfig(iterations=1),
+        share_dram=sharing.share_dram,
+        share_ptw=sharing.share_ptw,
+        share_tlb=sharing.share_tlb,
+    )
+
+
+def main() -> None:
+    kws, mlp = speech_command_net(), sensor_mlp()
+    for net in (kws, mlp):
+        print(f"model {net.name:4s}: {net.total_macs/1e6:6.1f} MMACs, "
+              f"intensity {net.arithmetic_intensity:5.1f} MAC/B")
+    print()
+
+    # Monolithic core: kws runs first, the MLP queues behind it.
+    solo = {}
+    for net in (kws, mlp):
+        workload = MultiCoreNPUSim(monolithic(), [net]).run().workloads[0]
+        solo[net.name] = workload
+        print(f"monolithic 64x64 {net.name:4s}: {workload.cycles:>8,} cycles, "
+              f"PE util {workload.pe_utilization:5.1%}")
+    mono_makespan = solo["kws"].cycles + solo["mlp"].cycles
+    print(f"monolithic: makespan {mono_makespan:,} cycles; "
+          f"mlp latency {mono_makespan:,} (queued behind kws)\n")
+
+    for sharing in (SharingLevel.STATIC, SharingLevel.DWT):
+        result = MultiCoreNPUSim(dual(sharing), [kws, mlp]).run()
+        cycles = {w.workload: w.cycles for w in result.workloads}
+        makespan = max(cycles.values())
+        print(f"dual 45x45 {sharing.label:7s}: makespan {makespan:>8,} "
+              f"({makespan/mono_makespan:4.2f}x mono), "
+              f"mlp latency {cycles['mlp']:>8,} "
+              f"({mono_makespan/cycles['mlp']:4.1f}x better than queueing)")
+
+    print(
+        "\nthe dual-core design trades a little makespan for latency "
+        "isolation: the sensor MLP no longer waits behind the keyword "
+        "spotter, which is exactly the SLO-predictability concern the "
+        "paper raises — and the +DWT row quantifies how much dynamic "
+        "resource sharing perturbs that isolated latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

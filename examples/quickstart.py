@@ -1,0 +1,45 @@
+"""Quickstart: simulate one DNN on a single-core cloud NPU.
+
+Runs NCF on the paper's Table 2 configuration (mini scale, so it finishes
+in under a second) and prints the numbers mNPUsim reports: execution
+cycles, PE utilization, and memory-system statistics.
+
+Usage::
+
+    python examples/quickstart.py [workload] [--scale mini|full]
+"""
+
+import argparse
+
+from repro import MultiCoreNPUSim, presets, zoo
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("workload", nargs="?", default="ncf", choices=zoo.NAMES)
+    parser.add_argument("--scale", default="mini", choices=("mini", "full"))
+    args = parser.parse_args()
+
+    network = zoo.get(args.workload, args.scale)
+    print(f"workload: {network.name} ({len(network.layers)} layers, "
+          f"{network.total_macs/1e6:.1f} MMACs, "
+          f"{network.total_bytes/1e6:.2f} MB unique operands)")
+
+    system = presets.solo_slice(scale=args.scale)
+    simulator = MultiCoreNPUSim(system, [network])
+    result = simulator.run()
+
+    workload = result.workloads[0]
+    print(f"\nexecution cycles : {workload.cycles:,}")
+    print(f"PE utilization   : {workload.pe_utilization:.1%}")
+    print(f"array occupancy  : {workload.compute_occupancy:.1%}")
+    print(f"DRAM traffic     : {workload.traffic_bytes/1e6:.2f} MB")
+    print(f"TLB miss rate    : {workload.tlb_miss_rate:.1%}")
+    print(f"page-table walks : {workload.walks:,} "
+          f"(avg {workload.avg_walk_ticks:.0f} cycles each, "
+          f"{workload.avg_walk_queue_ticks:.0f} queueing)")
+    print(f"DRAM row-hit rate: {result.dram.row_hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

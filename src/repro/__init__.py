@@ -1,0 +1,44 @@
+"""mNPUsim reproduction: a multi-core NPU simulator in Python.
+
+This package reproduces *mNPUsim: Evaluating the Effect of Sharing Resources
+in Multi-core NPUs* (IISWC 2023).  It provides:
+
+* a cycle-level, event-driven multi-core NPU simulator with a detailed
+  shared memory system (DRAM channels/banks, TLBs, page-table walkers),
+* the eight benchmark DNN topologies the paper evaluates,
+* the resource-sharing levels (``Ideal``, ``Static``, ``+D``, ``+DW``,
+  ``+DWT``) and partitioning schemes studied in the paper, and
+* the experiment harness that regenerates every table and figure of the
+  paper's evaluation section.
+
+Quickstart::
+
+    from repro import MultiCoreNPUSim, SharingLevel, zoo, presets
+
+    system = presets.cloud_npu(num_cores=2, sharing=SharingLevel.DWT)
+    sim = MultiCoreNPUSim(system, [zoo.mini("ncf"), zoo.mini("gpt2")])
+    result = sim.run()
+    print(result.cycles_per_core)
+"""
+
+from repro.core.metrics import fairness, geomean, slowdown, speedup
+from repro.core.sharing import SharingLevel
+from repro.core.simulator import MixResult, MultiCoreNPUSim, WorkloadResult
+from repro.config import presets
+from repro.models import zoo
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiCoreNPUSim",
+    "MixResult",
+    "WorkloadResult",
+    "SharingLevel",
+    "zoo",
+    "presets",
+    "speedup",
+    "slowdown",
+    "geomean",
+    "fairness",
+    "__version__",
+]

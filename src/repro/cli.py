@@ -1,0 +1,228 @@
+"""Command-line interface mirroring the mNPUsim artifact.
+
+The original simulator runs as::
+
+    ./mnpusim <arch_list> <network_list> <dram_config> <npumem_list> \\
+              <result_path> <misc_config>
+
+This CLI keeps that shape (``mnpusim run``) while adding conveniences the
+artifact documents separately: listing the bundled benchmark zoo, and a
+quick mix runner over named workloads and sharing levels.  Result files
+follow the artifact's layout: ``<result_path>/result/avg_cycle_*.txt``,
+``memory_footprint_*``, ``utilization_*`` plus a JSON summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.compute.requestgen import RequestGenerator
+from repro.config import (
+    load_arch_config,
+    load_dram_config,
+    load_misc_config,
+    load_npumem_config,
+)
+from repro.config.system import SystemConfig
+from repro.core.sharing import SharingLevel
+from repro.core.simulator import MixResult, MultiCoreNPUSim
+from repro.config import presets
+from repro.models import zoo
+
+
+def _read_list_file(path: str) -> list[str]:
+    """A *_list file: one per-core config path per line."""
+    lines = [
+        line.strip()
+        for line in Path(path).read_text().splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise SystemExit(f"{path}: empty config list")
+    return lines
+
+
+def _write_results(result: MixResult, system: SystemConfig, out_dir: Path, networks) -> None:
+    """Write artifact-style per-core result files plus a JSON summary."""
+    result_dir = out_dir / "result"
+    result_dir.mkdir(parents=True, exist_ok=True)
+    summary = []
+    for workload, network in zip(result.workloads, networks):
+        arch = system.arch[workload.core]
+        stem = f"arch_{arch.name}{workload.core}_{workload.workload}{workload.core}"
+        (result_dir / f"avg_cycle_{stem}.txt").write_text(f"{workload.cycles}\n")
+        footprint = RequestGenerator(network, arch).memory_footprint_bytes
+        (result_dir / f"memory_footprint_{stem}.txt").write_text(f"{footprint}\n")
+        (result_dir / f"utilization_{stem}.txt").write_text(
+            f"{workload.pe_utilization:.6f}\n"
+        )
+        layer_lines = "".join(
+            f"{network.layers[index].name} {cycles}\n"
+            for index, cycles in enumerate(workload.layer_cycles)
+        )
+        (result_dir / f"execution_cycle_{stem}.txt").write_text(layer_lines)
+        summary.append(
+            {
+                "core": workload.core,
+                "workload": workload.workload,
+                "cycles": workload.cycles,
+                "pe_utilization": workload.pe_utilization,
+                "tlb_miss_rate": workload.tlb_miss_rate,
+                "walks": workload.walks,
+                "traffic_bytes": workload.traffic_bytes,
+            }
+        )
+    (result_dir / "summary.json").write_text(json.dumps(summary, indent=2))
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    arch_paths = _read_list_file(args.arch_list)
+    network_names = _read_list_file(args.network_list)
+    npumem_paths = _read_list_file(args.npumem_list)
+    if not len(arch_paths) == len(network_names) == len(npumem_paths):
+        raise SystemExit("arch, network and npumem lists must have one line per core")
+    dram = load_dram_config(args.dram_config)
+    misc = load_misc_config(args.misc_config)
+    system = SystemConfig(
+        arch=tuple(load_arch_config(path) for path in arch_paths),
+        npumem=tuple(load_npumem_config(path) for path in npumem_paths),
+        dram=dram,
+        misc=misc,
+        share_dram=not args.static_dram,
+        share_ptw=not args.static_ptw,
+        share_tlb=not args.static_tlb,
+    )
+    networks = [zoo.get(name, args.scale) for name in network_names]
+    sim = MultiCoreNPUSim(system, networks, trace_requests=args.trace)
+    result = sim.run()
+    out_dir = Path(args.result_path)
+    _write_results(result, system, out_dir, networks)
+    if args.trace and sim.tracer is not None:
+        sim.tracer.write_files(out_dir / "dramsim_output")
+    for workload in result.workloads:
+        print(
+            f"core{workload.core} {workload.workload}: {workload.cycles} cycles, "
+            f"PE util {workload.pe_utilization:.3f}"
+        )
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    names = args.workloads
+    sharing = SharingLevel[args.sharing.upper().lstrip("+")] if args.sharing else SharingLevel.DWT
+    system = presets.cloud_npu(
+        len(names), sharing, scale=args.scale, page_bytes=args.page_bytes
+    )
+    networks = [zoo.get(name, args.scale) for name in names]
+    sim = MultiCoreNPUSim(system, networks)
+    result = sim.run()
+    for workload in result.workloads:
+        print(
+            f"core{workload.core} {workload.workload}: {workload.cycles} cycles, "
+            f"PE util {workload.pe_utilization:.3f}, "
+            f"TLB miss rate {workload.tlb_miss_rate:.3f}, walks {workload.walks}"
+        )
+    if args.result_path:
+        _write_results(result, system, Path(args.result_path), networks)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure through the cached experiment runner."""
+    from repro.experiments import figures
+    from repro.experiments.mixes import subset_mixes
+    from repro.experiments.report import format_mapping
+    from repro.experiments.runner import ExperimentRunner
+
+    runner = ExperimentRunner(scale=args.scale, cache_dir=args.cache_dir)
+    dual = subset_mixes(2, args.mixes) if args.mixes else None
+    quad = subset_mixes(4, args.mixes) if args.mixes else subset_mixes(4, 60)
+    producers = {
+        "fig4": lambda: figures.fig4_dual_performance(runner, dual)["overall"],
+        "fig5": lambda: figures.fig5_quad_performance(runner, quad)["overall"],
+        "fig6": lambda: figures.fig6_dual_fairness(runner, dual)["overall"],
+        "fig7": lambda: figures.fig7_quad_fairness(runner, quad)["overall"],
+        "fig8": lambda: figures.fig8_sensitivity(runner, dual)["range"],
+        "fig9": lambda: figures.fig9_bandwidth_partition_performance(runner, dual)["overall"],
+        "fig10": lambda: figures.fig10_bandwidth_partition_fairness(runner, dual)["overall"],
+        "fig11": lambda: {
+            name: series[-1][1]
+            for name, series in figures.fig11_bandwidth_sweep(runner)["speedup"].items()
+        },
+        "fig13": lambda: figures.fig13_ptw_partition_performance(runner, dual)["overall"],
+        "fig14": lambda: figures.fig14_ptw_partition_fairness(runner, dual)["overall"],
+        "fig15": lambda: figures.fig15_pagesize_single(runner)["overall"],
+    }
+    if args.name not in producers:
+        raise SystemExit(f"unknown figure {args.name!r}; pick one of {sorted(producers)}")
+    data = {key: round(value, 4) for key, value in producers[args.name]().items()}
+    print(format_mapping(f"{args.name} (scale={args.scale})", data))
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    print(f"{'model':8s} {'type':15s} {'layers':>6s} {'MACs':>14s} {'bytes':>12s}")
+    for name in zoo.NAMES:
+        network = zoo.get(name, args.scale)
+        print(
+            f"{name:8s} {zoo.CATEGORIES[name]:15s} {len(network.layers):6d} "
+            f"{network.total_macs:14d} {network.total_bytes:12d}"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``mnpusim`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="mnpusim", description="Multi-core NPU simulator (mNPUsim reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run from mNPUsim-style config files")
+    run.add_argument("arch_list", help="file listing one arch_config path per core")
+    run.add_argument("network_list", help="file listing one benchmark name per core")
+    run.add_argument("dram_config", help="shared DRAM config file")
+    run.add_argument("npumem_list", help="file listing one npumem_config path per core")
+    run.add_argument("result_path", help="output directory")
+    run.add_argument("misc_config", help="misc (execution mode) config file")
+    run.add_argument("--scale", default="mini", choices=("mini", "full"))
+    run.add_argument("--static-dram", action="store_true", help="partition channels statically")
+    run.add_argument("--static-ptw", action="store_true", help="partition walkers statically")
+    run.add_argument("--static-tlb", action="store_true", help="keep per-core TLBs")
+    run.add_argument(
+        "--trace", action="store_true",
+        help="write dram/tlb/ptw request logs (the artifact's DRAMREQ_NPU_TRACE)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    mix = sub.add_parser("mix", help="co-run named benchmarks under a sharing level")
+    mix.add_argument("workloads", nargs="+", choices=zoo.NAMES, metavar="workload")
+    mix.add_argument("--sharing", default="DWT", help="Static, D, DW or DWT")
+    mix.add_argument("--scale", default="mini", choices=("mini", "full"))
+    mix.add_argument("--page-bytes", type=int, default=4096)
+    mix.add_argument("--result-path", default=None)
+    mix.set_defaults(func=_cmd_mix)
+
+    models = sub.add_parser("models", help="list the bundled benchmark zoo")
+    models.add_argument("--scale", default="mini", choices=("mini", "full"))
+    models.set_defaults(func=_cmd_models)
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one paper figure's headline numbers"
+    )
+    figure.add_argument("name", help="fig4, fig5, ..., fig15")
+    figure.add_argument("--mixes", type=int, default=None,
+                        help="limit the workload-mix count (default: full dual, 60 quad)")
+    figure.add_argument("--scale", default="mini", choices=("mini", "full"))
+    figure.add_argument("--cache-dir", default=None)
+    figure.set_defaults(func=_cmd_figure)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

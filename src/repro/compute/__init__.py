@@ -1,0 +1,17 @@
+"""Compute-side models: systolic-array timing, tiling, request generation."""
+
+from repro.compute.systolic import gemm_on_array, os_pass_cycles
+from repro.compute.tiling import Tile, TileShape, choose_tile_shape, tiles_for_gemm
+from repro.compute.requestgen import RequestGenerator, Run, TileTraffic
+
+__all__ = [
+    "os_pass_cycles",
+    "gemm_on_array",
+    "TileShape",
+    "Tile",
+    "choose_tile_shape",
+    "tiles_for_gemm",
+    "RequestGenerator",
+    "Run",
+    "TileTraffic",
+]

@@ -1,0 +1,81 @@
+"""Systolic-array timing models (SCALE-Sim style).
+
+The paper implements the output-stationary (OS) dataflow and lists other
+dataflows as future work (section 4.1.2); this module implements OS *and*
+that future work, weight stationary (WS).
+
+**Output stationary**: an ``R x C`` array computes an ``R x C`` block of
+outputs per *pass*: A-operand rows stream in from the left, B-operand
+columns from the top, partial sums stay in place.  SCALE-Sim's timing for
+one pass over a reduction depth ``k`` is::
+
+    pass_cycles = 2*R + C + k - 2
+
+(``k`` cycles of streaming plus the skew/fill/drain of the array).  A
+``(m, k, n)`` GEMM needs ``ceil(m/R) * ceil(n/C)`` passes.
+
+**Weight stationary**: the array pre-loads an ``R x C`` block of the
+weight matrix A (``R`` reduction rows by ``C`` output features), then
+streams all ``n`` activation columns through it::
+
+    pass_cycles = R + (n + R + C - 2)
+
+(``R`` cycles of weight loading, then ``n`` columns with fill/drain
+skew).  A GEMM needs ``ceil(k/R) * ceil(m/C)`` weight folds.  WS
+amortizes weight loads over large ``n`` and pays per-fold overheads for
+deep reductions — the classic OS/WS trade-off SCALE-Sim exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.arch import ArchConfig
+
+
+def os_pass_cycles(rows: int, cols: int, k: int) -> int:
+    """Cycles for one output-stationary pass over reduction depth ``k``."""
+    if rows <= 0 or cols <= 0 or k <= 0:
+        raise ValueError("pass dimensions must be positive")
+    return 2 * rows + cols + k - 2
+
+
+@dataclass(frozen=True)
+class ComputeEstimate:
+    """Timing/utilization of one GEMM (or GEMM tile) on the array."""
+
+    cycles: int
+    macs: int
+    pe_utilization: float
+
+
+def ws_pass_cycles(rows: int, cols: int, n: int) -> int:
+    """Cycles for one weight-stationary fold streaming ``n`` columns."""
+    if rows <= 0 or cols <= 0 or n <= 0:
+        raise ValueError("pass dimensions must be positive")
+    return rows + n + rows + cols - 2
+
+
+def gemm_on_array(arch: ArchConfig, m: int, k: int, n: int) -> ComputeEstimate:
+    """Cycles and PE utilization of an ``(m, k, n)`` GEMM on ``arch``.
+
+    Utilization is MACs divided by the MAC slots the array offers during
+    the computation (``cycles * R * C``).  Small ``m``/``n`` relative to
+    the array dimensions waste PEs — the under-utilization problem that
+    motivates multi-core NPUs in the paper's introduction.
+    """
+    if min(m, k, n) <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    rows, cols = arch.array_rows, arch.array_cols
+    if arch.dataflow == "ws":
+        folds = -(-k // rows) * (-(-m // cols))
+        cycles = folds * ws_pass_cycles(rows, cols, n)
+    else:  # output stationary
+        passes = -(-m // rows) * (-(-n // cols))
+        cycles = passes * os_pass_cycles(rows, cols, k)
+    macs = m * k * n
+    return ComputeEstimate(
+        cycles=cycles,
+        macs=macs,
+        pe_utilization=macs / (cycles * arch.num_pes),
+    )

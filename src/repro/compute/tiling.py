@@ -1,0 +1,149 @@
+"""GEMM tiling under the double-buffered scratchpad budget.
+
+When a layer's operands exceed half the SPM (the other half holds the
+next tile — double buffering, paper Figure 2a), the GEMM is decomposed
+into ``(Tm, Tn, Tk)`` tiles.  One tile must fit A (``Tm x Tk``), B
+(``Tk x Tn``) and the output accumulator C (``Tm x Tn``) in the half-SPM
+budget.  Tiles execute in ``(mi, ni, ki)`` loop order: the reduction
+(``ki``) is innermost so C tiles accumulate in place, and the C tile is
+written back to DRAM only after the last ``ki`` step — matching the
+output-stationary dataflow.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config.arch import ArchConfig
+from repro.models.layers import GemmOp
+
+
+@dataclass(frozen=True)
+class TileShape:
+    """Nominal tile dimensions (edge tiles may be smaller)."""
+
+    tm: int
+    tn: int
+    tk: int
+
+    def footprint_elems(self) -> int:
+        """SPM elements a full tile occupies (A + B + C)."""
+        return self.tm * self.tk + self.tk * self.tn + self.tm * self.tn
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile instance of a tiled GEMM.
+
+    ``(m0, n0, k0)`` is the tile's origin in the iteration space and
+    ``(tm, tn, tk)`` its actual (edge-clipped) extent.  ``last_k`` marks
+    the final reduction step, after which the C tile is written back.
+    """
+
+    m0: int
+    n0: int
+    k0: int
+    tm: int
+    tn: int
+    tk: int
+    first_k: bool
+    last_k: bool
+
+    @property
+    def macs(self) -> int:
+        """MACs this tile performs."""
+        return self.tm * self.tn * self.tk
+
+
+def _align_down(value: int, unit: int) -> int:
+    """Largest multiple of ``unit`` not exceeding ``value`` (min ``unit``)."""
+    return max(unit, (value // unit) * unit)
+
+
+def choose_tile_shape(gemm: GemmOp, arch: ArchConfig) -> TileShape:
+    """Pick a tile shape fitting the half-SPM budget.
+
+    Strategy: if the whole GEMM fits, use it as a single tile.  Otherwise
+    prefer *slab* tiles that keep the B operand full-width (``Tn = N``):
+    full-width rows are contiguous in memory, so the DMA streams whole
+    slabs sequentially — the access pattern systolic NPU compilers
+    produce, and the one that makes translation misses compulsory,
+    page-granular and bursty (paper section 2.3).  ``Tm`` stays an
+    array-height multiple so output-stationary passes run full; the
+    reduction depth ``Tk`` absorbs whatever budget remains.  When ``N``
+    alone is too wide for the budget, fall back to a balanced square
+    tile (correct, just strided).
+    """
+    budget = arch.half_spm_bytes // arch.element_bytes
+    if gemm.total_bytes * arch.element_bytes <= arch.half_spm_bytes:
+        return TileShape(gemm.m, gemm.n, gemm.k)
+    slab = _slab_shape(gemm, arch, budget)
+    if slab is not None:
+        return slab
+    return _square_shape(gemm, arch, budget)
+
+
+def _slab_shape(gemm: GemmOp, arch: ArchConfig, budget: int) -> TileShape | None:
+    """Full-width-N tile, or None when N does not fit the budget."""
+    tn = gemm.n
+    tm = min(gemm.m, arch.array_rows)
+    # Grow tm in array-height steps while at least one reduction row fits.
+    while True:
+        grown = tm + arch.array_rows
+        if grown > gemm.m or grown * tn + (grown + tn) > budget:
+            break
+        tm = grown
+    tk = (budget - tm * tn) // (tm + tn)
+    if tk < 1:
+        return None
+    return TileShape(tm, tn, min(gemm.k, tk))
+
+
+def _square_shape(gemm: GemmOp, arch: ArchConfig, budget: int) -> TileShape:
+    """Balanced near-cubic tile for GEMMs whose N is too wide to slab."""
+    side = max(1, int(math.sqrt(budget / 3)))
+    tm = min(gemm.m, _align_down(side, arch.array_rows) if side >= arch.array_rows else side)
+    tn = min(gemm.n, _align_down(side, arch.array_cols) if side >= arch.array_cols else side)
+    while True:
+        tk = (budget - tm * tn) // (tm + tn)
+        if tk >= 1:
+            break
+        # Budget too small for this (tm, tn): shrink the larger dimension.
+        if tm >= tn and tm > 1:
+            tm = max(1, tm // 2)
+        elif tn > 1:
+            tn = max(1, tn // 2)
+        else:
+            raise ValueError(
+                f"SPM budget of {arch.half_spm_bytes} bytes cannot hold any tile "
+                f"of GEMM {gemm.name}"
+            )
+    return TileShape(tm, tn, min(gemm.k, tk))
+
+
+def tiles_for_gemm(gemm: GemmOp, shape: TileShape) -> Iterator[Tile]:
+    """Yield tiles in ``(mi, ni, ki)`` loop order (reduction innermost)."""
+    k_steps = -(-gemm.k // shape.tk)
+    for m0 in range(0, gemm.m, shape.tm):
+        tm = min(shape.tm, gemm.m - m0)
+        for n0 in range(0, gemm.n, shape.tn):
+            tn = min(shape.tn, gemm.n - n0)
+            for ki in range(k_steps):
+                k0 = ki * shape.tk
+                yield Tile(
+                    m0=m0,
+                    n0=n0,
+                    k0=k0,
+                    tm=tm,
+                    tn=tn,
+                    tk=min(shape.tk, gemm.k - k0),
+                    first_k=ki == 0,
+                    last_k=ki == k_steps - 1,
+                )
+
+
+def tile_count(gemm: GemmOp, shape: TileShape) -> int:
+    """Number of tiles ``tiles_for_gemm`` will yield."""
+    return (-(-gemm.m // shape.tm)) * (-(-gemm.n // shape.tn)) * (-(-gemm.k // shape.tk))

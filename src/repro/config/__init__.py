@@ -1,0 +1,37 @@
+"""Configuration dataclasses mirroring mNPUsim's five config-file kinds.
+
+mNPUsim takes ``arch_config``, ``network_config``, ``npumem_config``,
+``dram_config`` and ``misc_config`` files.  Here each is a frozen dataclass;
+:mod:`repro.config.loader` parses the equivalent ``key = value`` text files,
+and :mod:`repro.config.presets` builds the paper's Table 2 configuration.
+"""
+
+from repro.config.arch import ArchConfig
+from repro.config.dram import AddressMapping, DramConfig, DramTiming
+from repro.config.misc import MiscConfig
+from repro.config.npumem import NpuMemConfig
+from repro.config.system import SystemConfig
+from repro.config import presets
+from repro.config.loader import (
+    load_arch_config,
+    load_dram_config,
+    load_misc_config,
+    load_npumem_config,
+    parse_kv_text,
+)
+
+__all__ = [
+    "ArchConfig",
+    "NpuMemConfig",
+    "DramConfig",
+    "DramTiming",
+    "AddressMapping",
+    "MiscConfig",
+    "SystemConfig",
+    "presets",
+    "parse_kv_text",
+    "load_arch_config",
+    "load_npumem_config",
+    "load_dram_config",
+    "load_misc_config",
+]

@@ -1,0 +1,151 @@
+"""Shared DRAM configuration (mNPUsim ``dram_config``).
+
+mNPUsim integrates DRAMsim3 for a cycle-accurate memory model.  This
+reproduction implements an event-driven model with the same first-order
+structure (channels, bank groups, banks, row buffers, FR-FCFS, a shared
+data bus per channel) — see ``repro.dram``.  The classes here hold the
+parameters: timing (in DRAM-clock cycles), geometry, and the address
+mapping that interleaves physical addresses across channels and banks.
+
+The paper's baseline is HBM2 with 128 GB/s *per NPU core* (Table 2): one
+HBM2 pseudo-channel sustains 32 GB/s, so a single-core system gets 4
+channels, a dual-core 8, a quad-core 16.  Static bandwidth partitioning in
+the paper (section 4.3, ratios 1:7 … 7:1 of 256 GB/s) maps exactly onto
+assigning disjoint channel subsets to cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Order tokens accepted by :class:`AddressMapping` (DRAMsim3-style).
+_MAP_FIELDS = ("ch", "bg", "ba", "ro", "co")
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DRAM timing parameters in DRAM-clock cycles.
+
+    Defaults approximate HBM2 at 1 GHz (1 cycle = 1 ns).  Only the
+    parameters that shape request-level behaviour are modeled; sub-command
+    constraints that do not move first-order bandwidth/latency (e.g.
+    tWTR variants) are folded into the ones below.
+    """
+
+    tCL: int = 14          #: column access strobe latency (read)
+    tRCD: int = 14         #: row-activate to column-access delay
+    tRP: int = 14          #: row precharge
+    tRAS: int = 34         #: minimum row-active time
+    tCCD: int = 2          #: column-to-column (same bank group, back-to-back)
+    tWR: int = 16          #: write recovery
+    tRFC: int = 260        #: refresh cycle time
+    tREFI: int = 3900      #: refresh interval
+
+    def __post_init__(self) -> None:
+        for name in ("tCL", "tRCD", "tRP", "tRAS", "tCCD", "tWR", "tRFC", "tREFI"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tRAS < self.tRCD:
+            raise ValueError("tRAS must cover at least tRCD")
+        if self.tREFI <= self.tRFC:
+            raise ValueError("tREFI must exceed tRFC")
+
+
+@dataclass(frozen=True)
+class AddressMapping:
+    """Physical-address bit slicing onto (channel, bankgroup, bank, row, col).
+
+    ``order`` lists fields from least- to most-significant position above
+    the transaction-offset bits.  The default ``("ch", "co", "ba", "bg",
+    "ro")`` places channel bits lowest so that consecutive transactions
+    stripe across channels — the interleaving mNPUsim relies on for peak
+    bandwidth ("restrictions such as DRAM bank and channel interleaving",
+    section 3.1).
+    """
+
+    order: tuple[str, ...] = ("ch", "co", "ba", "bg", "ro")
+
+    def __post_init__(self) -> None:
+        if sorted(self.order) != sorted(_MAP_FIELDS):
+            raise ValueError(
+                f"address mapping must be a permutation of {_MAP_FIELDS}, got {self.order}"
+            )
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Geometry + timing of the shared off-chip memory.
+
+    Attributes:
+        preset: Label of the timing preset ("HBM2" in the paper).
+        channels: Number of (pseudo-)channels.  Peak bandwidth equals
+            ``channels * channel_bytes_per_cycle * freq_mhz * 1e6``.
+        bank_groups: Bank groups per channel.
+        banks_per_group: Banks per bank group.
+        rows_per_bank: Rows per bank.
+        row_bytes: Row-buffer size (bytes of one open row per bank).
+        channel_bytes_per_cycle: Data-bus throughput of one channel per
+            DRAM cycle.  HBM2 pseudo-channel: 64 data pins, DDR at 2 Gb/s
+            per pin at a 1 GHz clock → 32 B/cycle → 32 GB/s.
+        freq_mhz: DRAM clock; also the simulator's global clock.
+        queue_depth: Per-channel request-queue capacity.  A full queue
+            back-pressures the issuing DMA/walker.
+        prioritize_walks: Schedule page-table-walk reads ahead of data
+            bursts in the channel queues.  Real IOMMUs prioritize
+            translations because one walk blocks many data requests;
+            without it, walks drown under the very bursts they gate.
+        timing: :class:`DramTiming`.
+        mapping: :class:`AddressMapping`.
+        refresh_enabled: Model periodic all-bank refresh per channel.
+    """
+
+    preset: str = "HBM2"
+    channels: int = 4
+    bank_groups: int = 4
+    banks_per_group: int = 4
+    rows_per_bank: int = 1 << 14
+    row_bytes: int = 2048
+    channel_bytes_per_cycle: int = 32
+    freq_mhz: int = 1000
+    queue_depth: int = 64
+    timing: DramTiming = field(default_factory=DramTiming)
+    mapping: AddressMapping = field(default_factory=AddressMapping)
+    refresh_enabled: bool = True
+    prioritize_walks: bool = True
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "bank_groups",
+            "banks_per_group",
+            "rows_per_bank",
+            "row_bytes",
+            "channel_bytes_per_cycle",
+            "freq_mhz",
+            "queue_depth",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.row_bytes & (self.row_bytes - 1):
+            raise ValueError("row size must be a power of two")
+
+    @property
+    def banks_per_channel(self) -> int:
+        """Total banks in one channel."""
+        return self.bank_groups * self.banks_per_group
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total addressable capacity across all channels."""
+        return self.channels * self.banks_per_channel * self.rows_per_bank * self.row_bytes
+
+    def peak_bandwidth_bytes_per_sec(self) -> float:
+        """Aggregate peak bandwidth of all channels."""
+        return self.channels * self.channel_bytes_per_cycle * self.freq_mhz * 1e6
+
+    def burst_cycles(self, transaction_bytes: int) -> int:
+        """Data-bus cycles one transaction occupies on a channel."""
+        if transaction_bytes <= 0:
+            raise ValueError("transaction size must be positive")
+        return max(1, -(-transaction_bytes // self.channel_bytes_per_cycle))

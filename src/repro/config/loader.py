@@ -1,0 +1,113 @@
+"""Parsers for mNPUsim-style ``key = value`` configuration files.
+
+The original artifact feeds the simulator five kinds of plain-text config
+files.  These loaders accept the same spirit of format — one ``key = value``
+pair per line, ``#`` comments, case-insensitive keys — and produce the
+dataclasses of :mod:`repro.config`.  Unknown keys raise, so a typo cannot
+silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Any
+
+from repro.config.arch import ArchConfig
+from repro.config.dram import AddressMapping, DramConfig, DramTiming
+from repro.config.misc import MiscConfig
+from repro.config.npumem import NpuMemConfig
+
+_BOOL_TRUE = {"1", "true", "yes", "on"}
+_BOOL_FALSE = {"0", "false", "no", "off"}
+
+
+def parse_kv_text(text: str) -> dict[str, str]:
+    """Parse ``key = value`` lines into a dict.
+
+    Blank lines and ``#`` comments are ignored.  Keys are lower-cased.
+    Raises ``ValueError`` on malformed lines or duplicate keys.
+    """
+    result: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {lineno}: expected 'key = value', got {raw!r}")
+        key, value = (part.strip() for part in line.split("=", 1))
+        key = key.lower()
+        if not key or not value:
+            raise ValueError(f"line {lineno}: empty key or value in {raw!r}")
+        if key in result:
+            raise ValueError(f"line {lineno}: duplicate key {key!r}")
+        result[key] = value
+    return result
+
+
+def _coerce(value: str, annotation: Any) -> Any:
+    """Convert a string to the field's type."""
+    if annotation in (int, "int"):
+        return int(value, 0)
+    if annotation in (bool, "bool"):
+        lowered = value.lower()
+        if lowered in _BOOL_TRUE:
+            return True
+        if lowered in _BOOL_FALSE:
+            return False
+        raise ValueError(f"cannot parse boolean from {value!r}")
+    if annotation in (str, "str"):
+        return value
+    raise ValueError(f"unsupported config field type {annotation!r}")
+
+
+def _build(cls: type, pairs: dict[str, str], *, nested: dict[str, Any] | None = None) -> Any:
+    """Instantiate dataclass ``cls`` from string pairs, type-coercing values."""
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    kwargs: dict[str, Any] = dict(nested or {})
+    for key, value in pairs.items():
+        if key not in fields:
+            raise ValueError(f"unknown {cls.__name__} key {key!r}")
+        kwargs[key] = _coerce(value, fields[key].type)
+    return cls(**kwargs)
+
+
+def load_arch_config(path: str | Path) -> ArchConfig:
+    """Load an ``arch_config`` file."""
+    return _build(ArchConfig, parse_kv_text(Path(path).read_text()))
+
+
+def load_npumem_config(path: str | Path) -> NpuMemConfig:
+    """Load an ``npumem_config`` file."""
+    return _build(NpuMemConfig, parse_kv_text(Path(path).read_text()))
+
+
+def load_misc_config(path: str | Path) -> MiscConfig:
+    """Load a ``misc_config`` file."""
+    return _build(MiscConfig, parse_kv_text(Path(path).read_text()))
+
+
+def load_dram_config(path: str | Path) -> DramConfig:
+    """Load a ``dram_config`` file.
+
+    Timing keys are prefixed ``timing.`` (e.g. ``timing.tcl = 14``); the
+    address-map order is a dash-separated string, e.g.
+    ``mapping = ch-co-ba-bg-ro`` (least- to most-significant).
+    """
+    pairs = parse_kv_text(Path(path).read_text())
+    timing_pairs = {}
+    for key in list(pairs):
+        if key.startswith("timing."):
+            timing_pairs[key.removeprefix("timing.")] = pairs.pop(key)
+    nested: dict[str, Any] = {}
+    if timing_pairs:
+        timing_fields = {f.name.lower(): f.name for f in dataclasses.fields(DramTiming)}
+        kwargs = {}
+        for key, value in timing_pairs.items():
+            if key not in timing_fields:
+                raise ValueError(f"unknown DramTiming key {key!r}")
+            kwargs[timing_fields[key]] = int(value, 0)
+        nested["timing"] = DramTiming(**kwargs)
+    if "mapping" in pairs:
+        nested["mapping"] = AddressMapping(tuple(pairs.pop("mapping").split("-")))
+    return _build(DramConfig, pairs, nested=nested)

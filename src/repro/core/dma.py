@@ -1,0 +1,154 @@
+"""The per-core DMA engine moving tiles between SPM and off-chip memory.
+
+Each core owns a private DMA engine (paper Figure 1).  A *transfer* is
+one tile-phase burst (the read runs of a tile, or its write-back runs).
+The engine expands runs into DRAM-transaction-sized requests, translates
+each through the MMU, and paces issue at the core's DMA width with a
+bounded in-flight window — the mechanism that turns tile loads into the
+bursty request trains of Figure 2(b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.compute.requestgen import Run
+from repro.core.clock import ClockDomain
+from repro.core.engine import Engine
+from repro.dram.controller import DramController
+from repro.mmu.mmu import Mmu
+
+
+@dataclass
+class DmaStats:
+    """Issue/completion counters of one DMA engine."""
+
+    read_txns: int = 0
+    write_txns: int = 0
+    stall_events: int = 0
+
+    @property
+    def total_txns(self) -> int:
+        """All transactions issued."""
+        return self.read_txns + self.write_txns
+
+
+class _Transfer:
+    __slots__ = ("txns", "issued_all", "outstanding", "on_complete")
+
+    def __init__(self, txns: Iterator[tuple[int, bool]], on_complete: Callable[[], None]):
+        self.txns = txns
+        self.issued_all = False
+        self.outstanding = 0
+        self.on_complete = on_complete
+
+
+class DmaEngine:
+    """Paced, windowed request issue for one NPU core."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core: int,
+        mmu: Mmu,
+        dram: DramController,
+        clock: ClockDomain,
+        *,
+        max_outstanding: int,
+        issue_per_cycle: int = 1,
+        transaction_bytes: int = 64,
+    ) -> None:
+        if max_outstanding <= 0:
+            raise ValueError("DMA window must be positive")
+        if issue_per_cycle <= 0:
+            raise ValueError("issue width must be positive")
+        self.engine = engine
+        self.core = core
+        self.mmu = mmu
+        self.dram = dram
+        self.clock = clock
+        self.max_outstanding = max_outstanding
+        self.transaction_bytes = transaction_bytes
+        # Global ticks between consecutive issues (>= 1 to stay causal).
+        self._issue_gap = max(1, clock.to_global(1) // issue_per_cycle)
+        self._active: deque[_Transfer] = deque()
+        self._outstanding = 0
+        self._next_issue_at = 0
+        self._pump_scheduled = False
+        self.stats = DmaStats()
+
+    # ------------------------------------------------------------------ #
+
+    def transfer(self, runs: tuple[Run, ...], on_complete: Callable[[], None]) -> None:
+        """Start a burst covering ``runs``; ``on_complete`` fires when all land."""
+        if not runs:
+            self.engine.after(0, on_complete)
+            return
+        self._active.append(_Transfer(self._expand(runs), on_complete))
+        self._schedule_pump(max(self.engine.now, self._next_issue_at))
+
+    @property
+    def busy(self) -> bool:
+        """True while any transfer has unissued or in-flight transactions."""
+        return bool(self._active) or self._outstanding > 0
+
+    # ------------------------------------------------------------------ #
+
+    def _expand(self, runs: tuple[Run, ...]) -> Iterator[tuple[int, bool]]:
+        txn = self.transaction_bytes
+        for run in runs:
+            for index in range(run.count):
+                yield run.addr + index * txn, run.write
+
+    def _schedule_pump(self, time: int) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        self.engine.at(max(time, self.engine.now), self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        if not self._active:
+            return
+        if self._outstanding >= self.max_outstanding:
+            self.stats.stall_events += 1
+            return  # a completion will restart the pump
+        transfer = self._active[0]
+        step = next(transfer.txns, None)
+        if step is None:
+            transfer.issued_all = True
+            self._active.popleft()
+            if transfer.outstanding == 0:
+                transfer.on_complete()
+            if self._active:
+                self._schedule_pump(self._next_issue_at)
+            return
+        vaddr, write = step
+        transfer.outstanding += 1
+        self._outstanding += 1
+        if write:
+            self.stats.write_txns += 1
+        else:
+            self.stats.read_txns += 1
+        paddr = self.mmu.translate(
+            self.core, vaddr, lambda p, t=transfer, w=write: self._submit(p, w, t)
+        )
+        if paddr is not None:
+            self._submit(paddr, write, transfer)
+        self._next_issue_at = self.engine.now + self._issue_gap
+        self._schedule_pump(self._next_issue_at)
+
+    def _submit(self, paddr: int, write: bool, transfer: _Transfer) -> None:
+        self.dram.submit(
+            self.core, paddr, write, lambda: self._complete(transfer)
+        )
+
+    def _complete(self, transfer: _Transfer) -> None:
+        self._outstanding -= 1
+        transfer.outstanding -= 1
+        if transfer.issued_all and transfer.outstanding == 0:
+            transfer.on_complete()
+        if self._active:
+            self._schedule_pump(max(self.engine.now, self._next_issue_at))

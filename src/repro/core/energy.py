@@ -1,0 +1,96 @@
+"""NPU-side energy accounting (extension).
+
+Combines compute energy (per MAC), scratchpad energy (per byte moved
+through the SPM), translation energy (per TLB lookup and per walk) and
+core leakage into a per-workload estimate, and composes it with the DRAM
+breakdown of :mod:`repro.dram.energy` into a system view.  Coefficients
+approximate a 7 nm-class accelerator and exist for *relative* studies
+(e.g. energy-delay product across sharing levels), not absolute joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.arch import ArchConfig
+from repro.core.simulator import WorkloadResult
+from repro.dram.energy import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class NpuEnergyParams:
+    """Per-operation NPU energy coefficients."""
+
+    mac_pj: float = 0.3              #: one 8-bit MAC including register movement
+    spm_pj_per_byte: float = 1.2     #: one byte through the scratchpad
+    tlb_lookup_pj: float = 2.0       #: one TLB access
+    walk_pj: float = 150.0           #: walker state machine per walk (DRAM extra)
+    leakage_pw_per_pe: float = 25.0  #: static power per PE, pW
+
+    def __post_init__(self) -> None:
+        for name in (
+            "mac_pj", "spm_pj_per_byte", "tlb_lookup_pj", "walk_pj",
+            "leakage_pw_per_pe",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class NpuEnergy:
+    """Per-workload NPU-side energy, in picojoules."""
+
+    compute_pj: float
+    spm_pj: float
+    translation_pj: float
+    leakage_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Sum of all components."""
+        return self.compute_pj + self.spm_pj + self.translation_pj + self.leakage_pj
+
+    def as_dict(self) -> dict[str, float]:
+        """Breakdown plus total, for reports."""
+        return {
+            "compute_pj": self.compute_pj,
+            "spm_pj": self.spm_pj,
+            "translation_pj": self.translation_pj,
+            "leakage_pj": self.leakage_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+def workload_energy(
+    result: WorkloadResult,
+    arch: ArchConfig,
+    macs: int,
+    params: NpuEnergyParams = NpuEnergyParams(),
+) -> NpuEnergy:
+    """NPU-side energy of one workload's first iteration.
+
+    ``macs`` is the workload's MAC count (``network.total_macs``); the
+    SPM moves each DRAM-traffic byte once in and once out of the array
+    datapath.
+    """
+    if macs < 0:
+        raise ValueError("MAC count cannot be negative")
+    ns = result.cycles * 1000.0 / arch.freq_mhz
+    return NpuEnergy(
+        compute_pj=macs * params.mac_pj,
+        spm_pj=2.0 * result.traffic_bytes * params.spm_pj_per_byte,
+        translation_pj=(
+            result.tlb_lookups * params.tlb_lookup_pj
+            + result.walks * params.walk_pj
+        ),
+        leakage_pj=ns * arch.num_pes * params.leakage_pw_per_pe * 1e-3,
+    )
+
+
+def energy_delay_product(
+    npu: NpuEnergy, dram: EnergyBreakdown, cycles: int
+) -> float:
+    """EDP in pJ·cycles — the figure of merit for sharing-level studies."""
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+    return (npu.total_pj + dram.total_pj) * cycles

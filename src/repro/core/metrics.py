@@ -1,0 +1,92 @@
+"""Performance and fairness metrics used throughout the evaluation.
+
+The paper normalizes every configuration to ``Ideal`` (each workload
+monopolizing all shareable resources), reports the *geometric mean* of
+per-workload speedups for a mix, and measures fairness with Van
+Craeynest et al.'s metric (Equation 1)::
+
+    Fairness_i = 1 - sigma_i / mu_i
+
+where ``mu_i``/``sigma_i`` are the mean and standard deviation of the
+*slowdowns* (inverse speedups) of the workloads in mix ``i``.  Fairness
+of 1 means perfectly balanced slowdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def speedup(ideal_cycles: float, observed_cycles: float) -> float:
+    """Relative speedup vs the Ideal run (< 1 means slower than Ideal)."""
+    if ideal_cycles <= 0 or observed_cycles <= 0:
+        raise ValueError("cycle counts must be positive")
+    return ideal_cycles / observed_cycles
+
+
+def slowdown(ideal_cycles: float, observed_cycles: float) -> float:
+    """Inverse of :func:`speedup`."""
+    return observed_cycles / ideal_cycles if ideal_cycles > 0 else math.inf
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    if any(value <= 0 for value in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def fairness(slowdowns: Sequence[float]) -> float:
+    """Equation 1: ``1 - sigma/mu`` over a mix's slowdowns.
+
+    A single-workload "mix" is perfectly fair by definition.
+    """
+    if not slowdowns:
+        raise ValueError("fairness of an empty mix")
+    if any(value <= 0 for value in slowdowns):
+        raise ValueError("slowdowns must be positive")
+    if len(slowdowns) == 1:
+        return 1.0
+    mu = sum(slowdowns) / len(slowdowns)
+    variance = sum((value - mu) ** 2 for value in slowdowns) / len(slowdowns)
+    return 1.0 - math.sqrt(variance) / mu
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """``(value, cumulative_fraction)`` pairs for plotting a CDF."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    count = len(ordered)
+    return [(value, (index + 1) / count) for index, value in enumerate(ordered)]
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ValueError("percentile of nothing")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def box_stats(values: Sequence[float]) -> dict[str, float]:
+    """Min/Q1/median/Q3/max summary used by Figure 8's box plot."""
+    return {
+        "min": min(values),
+        "q1": percentile(values, 0.25),
+        "median": percentile(values, 0.5),
+        "q3": percentile(values, 0.75),
+        "max": max(values),
+    }

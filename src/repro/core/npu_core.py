@@ -1,0 +1,173 @@
+"""One NPU core: the double-buffered tile pipeline driving DMA + array.
+
+Implements the pipelining of paper Figure 2(a): while tile *i* computes
+on the systolic array, the DMA prefetches tile *i+1* into the free SPM
+half, and finished output tiles write back concurrently.  Compute of a
+tile starts when (a) its loads have landed and (b) the array is free.
+This is what produces the characteristic bursts of memory requests at
+tile boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.compute.requestgen import RequestGenerator, TileTraffic
+from repro.core.clock import ClockDomain
+from repro.core.dma import DmaEngine
+from repro.core.engine import Engine
+
+
+@dataclass
+class CoreStats:
+    """Progress counters of one core."""
+
+    tiles_computed: int = 0
+    compute_busy_local: int = 0
+    macs_done: int = 0
+    completed_iterations: int = 0
+    start_tick: int = 0
+    first_completion_tick: int | None = None
+    iteration_ticks: list[int] = field(default_factory=list)
+    #: First-iteration per-layer activity spans, in global ticks:
+    #: layer index -> (first tick any of its traffic/compute was active,
+    #: tick its last compute/write completed).  This backs the artifact's
+    #: layer-wise ``execution_cycle`` output files.
+    layer_spans: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+class NpuCore:
+    """Tile-pipeline state machine for one core's workload."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        core_id: int,
+        reqgen: RequestGenerator,
+        dma: DmaEngine,
+        clock: ClockDomain,
+        on_iteration_complete: Callable[[int], None],
+    ) -> None:
+        self.engine = engine
+        self.core_id = core_id
+        self.reqgen = reqgen
+        self.dma = dma
+        self.clock = clock
+        self.on_iteration_complete = on_iteration_complete
+        self.stats = CoreStats()
+        self._tiles: Iterator[TileTraffic] | None = None
+        self._loading: TileTraffic | None = None
+        self._loaded: TileTraffic | None = None
+        self._computing: TileTraffic | None = None
+        self._outstanding_writes = 0
+        self._exhausted = False
+        self._halted = False
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+
+    def start(self, at_tick: int) -> None:
+        """Begin executing the workload at global tick ``at_tick``."""
+        if self._started:
+            raise RuntimeError("core already started")
+        self._started = True
+        self.stats.start_tick = at_tick
+        self.engine.at(at_tick, self._begin_iteration)
+
+    def halt(self) -> None:
+        """Stop fetching new work; in-flight tiles drain naturally."""
+        self._halted = True
+
+    @property
+    def idle(self) -> bool:
+        """True when the core has no work in any pipeline stage."""
+        return (
+            self._loading is None
+            and self._loaded is None
+            and self._computing is None
+            and self._outstanding_writes == 0
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _begin_iteration(self) -> None:
+        if self._halted:
+            return
+        self._tiles = self.reqgen.all_tiles()
+        self._exhausted = False
+        self._fetch_next()
+
+    def _fetch_next(self) -> None:
+        if self._exhausted or self._loading is not None or self._loaded is not None:
+            return
+        assert self._tiles is not None
+        tile = next(self._tiles, None)
+        if tile is None:
+            self._exhausted = True
+            self._check_iteration_end()
+            return
+        self._loading = tile
+        self._touch_layer(tile.layer_index)
+        self.dma.transfer(tile.reads, lambda t=tile: self._load_done(t))
+
+    def _load_done(self, tile: TileTraffic) -> None:
+        assert self._loading is tile
+        self._loading = None
+        self._loaded = tile
+        self._maybe_compute()
+
+    def _maybe_compute(self) -> None:
+        if self._computing is not None or self._loaded is None:
+            return
+        tile = self._loaded
+        self._loaded = None
+        self._computing = tile
+        # The SPM half this tile vacated on compute-start now holds the
+        # next tile's load: double buffering.
+        self._fetch_next()
+        ticks = max(1, self.clock.to_global(tile.compute.cycles))
+        self.engine.after(ticks, lambda t=tile: self._compute_done(t))
+
+    def _compute_done(self, tile: TileTraffic) -> None:
+        assert self._computing is tile
+        self._computing = None
+        self.stats.tiles_computed += 1
+        self.stats.compute_busy_local += tile.compute.cycles
+        self.stats.macs_done += tile.compute.macs
+        self._touch_layer(tile.layer_index)
+        if tile.writes:
+            self._outstanding_writes += 1
+            self.dma.transfer(
+                tile.writes, lambda layer=tile.layer_index: self._write_done(layer)
+            )
+        self._maybe_compute()
+        self._check_iteration_end()
+
+    def _write_done(self, layer_index: int) -> None:
+        self._outstanding_writes -= 1
+        self._touch_layer(layer_index)
+        self._check_iteration_end()
+
+    def _touch_layer(self, layer_index: int) -> None:
+        """Extend the first-iteration activity span of a layer to now."""
+        if self.stats.completed_iterations > 0:
+            return
+        now = self.engine.now
+        span = self.stats.layer_spans.get(layer_index)
+        if span is None:
+            self.stats.layer_spans[layer_index] = (now, now)
+        else:
+            self.stats.layer_spans[layer_index] = (span[0], max(span[1], now))
+
+    def _check_iteration_end(self) -> None:
+        if not self._exhausted or not self.idle:
+            return
+        now = self.engine.now
+        self.stats.completed_iterations += 1
+        self.stats.iteration_ticks.append(now)
+        if self.stats.first_completion_tick is None:
+            self.stats.first_completion_tick = now
+        self.on_iteration_complete(self.core_id)
+        if not self._halted:
+            self._begin_iteration()

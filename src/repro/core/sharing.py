@@ -1,0 +1,64 @@
+"""Resource-sharing levels studied by the paper (section 4.1.3).
+
+The paper defines five configurations for the three shareable resources —
+DRAM bandwidth (D), page-table walkers (W) and TLB capacity (T):
+
+* ``IDEAL``  — each workload monopolizes *all* shareable resources (run
+  alone on the full system); the normalization baseline.
+* ``STATIC`` — every resource split statically and equally across cores;
+  no dynamic contention.
+* ``D``      — DRAM bandwidth shared dynamically, W and T still private.
+* ``DW``     — DRAM and walkers shared, TLB private.
+* ``DWT``    — everything shared (first-come-first-served).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class SharingLevel(Enum):
+    """Which of (DRAM, PTW, TLB) are dynamically shared between cores."""
+
+    IDEAL = "Ideal"
+    STATIC = "Static"
+    D = "+D"
+    DW = "+DW"
+    DWT = "+DWT"
+
+    @property
+    def share_dram(self) -> bool:
+        """True when DRAM channels are shared dynamically."""
+        return self in (SharingLevel.D, SharingLevel.DW, SharingLevel.DWT)
+
+    @property
+    def share_ptw(self) -> bool:
+        """True when the page-table walker pool is shared dynamically."""
+        return self in (SharingLevel.DW, SharingLevel.DWT)
+
+    @property
+    def share_tlb(self) -> bool:
+        """True when TLB capacity is shared."""
+        return self is SharingLevel.DWT
+
+    @property
+    def is_contended(self) -> bool:
+        """True when the level requires an actual multi-core co-simulation.
+
+        ``IDEAL`` and ``STATIC`` have no dynamic inter-core contention, so
+        they can be computed from single-core runs with the corresponding
+        resource slice (full system for Ideal, a 1/N slice for Static).
+        """
+        return self.share_dram
+
+    @property
+    def label(self) -> str:
+        """The paper's display label (e.g. ``"+DW"``)."""
+        return self.value
+
+
+#: The four levels the paper sweeps in Figures 4–7, in presentation order.
+SWEEP_LEVELS = (SharingLevel.STATIC, SharingLevel.D, SharingLevel.DW, SharingLevel.DWT)
+
+#: The dynamically-contended levels that need a real multi-core run.
+CONTENDED_LEVELS = (SharingLevel.D, SharingLevel.DW, SharingLevel.DWT)

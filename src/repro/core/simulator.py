@@ -1,0 +1,283 @@
+"""The top-level multi-core NPU simulator (mNPUsim's HW simulator).
+
+:class:`MultiCoreNPUSim` wires together everything the paper's Figure 3
+describes: per-core request generators (SW stack), per-core DMA engines
+and clock domains, the shared MMU (TLBs + walker pool) and the shared
+DRAM controller, then runs the event-driven co-simulation and reports
+per-workload cycle counts, PE utilization and memory-system statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compute.requestgen import RequestGenerator
+from repro.config.system import SystemConfig
+from repro.core.clock import ClockDomain
+from repro.core.dma import DmaEngine
+from repro.core.engine import Engine
+from repro.core.npu_core import NpuCore
+from repro.core.tracing import TraceLogger
+from repro.dram.controller import DramController
+from repro.dram.stats import DramStats
+from repro.mmu.mmu import Mmu
+from repro.mmu.pagetable import PageTable, PhysicalLayout
+from repro.mmu.ptw import WalkerPool
+from repro.models.layers import Network
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcome of one workload on one core (first iteration)."""
+
+    workload: str
+    core: int
+    cycles: int                #: first-iteration length in local core cycles
+    ticks: int                 #: the same, in global (DRAM) ticks
+    pe_utilization: float      #: MACs / (cycles * PEs) over the first iteration
+    compute_occupancy: float   #: fraction of cycles the array was busy
+    traffic_bytes: int         #: data bytes moved per iteration (reads + writes)
+    tlb_lookups: int
+    tlb_misses: int
+    walks: int
+    avg_walk_ticks: float
+    avg_walk_queue_ticks: float
+    completed_iterations: int
+    #: Per-layer activity durations in local cycles (first iteration),
+    #: indexed by layer.  Adjacent layers pipeline through the double
+    #: buffer, so spans overlap slightly; this matches the artifact's
+    #: layer-wise ``execution_cycle`` output.
+    layer_cycles: tuple[int, ...] = ()
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """TLB misses per lookup."""
+        return self.tlb_misses / self.tlb_lookups if self.tlb_lookups else 0.0
+
+
+@dataclass
+class MixResult:
+    """Outcome of one co-simulation."""
+
+    workloads: tuple[WorkloadResult, ...]
+    dram: DramStats
+    total_ticks: int
+    bandwidth_utilization: dict[int, list[tuple[int, float]]] = field(
+        default_factory=dict
+    )
+
+    def cycles_per_core(self) -> tuple[int, ...]:
+        """First-iteration local cycle counts, in core order."""
+        return tuple(result.cycles for result in self.workloads)
+
+    # Backwards-friendly alias used in docs/examples.
+    @property
+    def cycles_per_core_tuple(self) -> tuple[int, ...]:
+        return self.cycles_per_core()
+
+
+class MultiCoreNPUSim:
+    """Execution-driven co-simulation of N workloads on an N-core NPU."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        networks: list[Network] | tuple[Network, ...],
+        *,
+        trace_bandwidth: bool = False,
+        trace_requests: bool = False,
+    ) -> None:
+        if len(networks) != system.num_cores:
+            raise ValueError(
+                f"{system.num_cores} cores need {system.num_cores} workloads, "
+                f"got {len(networks)}"
+            )
+        self.system = system
+        self.networks = tuple(networks)
+        self.engine = Engine()
+        cores = range(system.num_cores)
+
+        layout = PhysicalLayout(system.dram.capacity_bytes, system.num_cores)
+        self.page_tables = {
+            core: PageTable(
+                core,
+                system.npumem[core].page_bytes,
+                system.npumem[core].walk_levels,
+                layout,
+            )
+            for core in cores
+        }
+
+        txn_bytes = {arch.dram_transaction_bytes for arch in system.arch}
+        if len(txn_bytes) != 1:
+            raise ValueError("heterogeneous DRAM transaction sizes are not supported")
+        self._txn_bytes = txn_bytes.pop()
+        trace_window = system.misc.trace_window_cycles if trace_bandwidth else None
+        self.tracer = TraceLogger() if trace_requests else None
+        self.dram = DramController(
+            system.dram,
+            self.engine,
+            transaction_bytes=self._txn_bytes,
+            channels_per_core={core: system.channels_for_core(core) for core in cores},
+            trace_window_ticks=trace_window,
+            logger=self.tracer,
+        )
+
+        self.clocks = {
+            core: ClockDomain(system.arch[core].freq_mhz, system.dram.freq_mhz)
+            for core in cores
+        }
+        self.walkers = self._build_walker_pool()
+        self.mmu = Mmu(
+            {core: system.npumem[core] for core in cores},
+            self.page_tables,
+            self.walkers,
+            shared_tlb=system.share_tlb and system.num_cores > 1,
+            logger=self.tracer,
+        )
+
+        self.reqgens = {
+            core: RequestGenerator(self.networks[core], system.arch[core])
+            for core in cores
+        }
+        self.dmas = {
+            core: DmaEngine(
+                self.engine,
+                core,
+                self.mmu,
+                self.dram,
+                self.clocks[core],
+                max_outstanding=system.dram.queue_depth,
+                issue_per_cycle=system.arch[core].dma_issue_per_cycle,
+                transaction_bytes=self._txn_bytes,
+            )
+            for core in cores
+        }
+        self.cores = {
+            core: NpuCore(
+                self.engine,
+                core,
+                self.reqgens[core],
+                self.dmas[core],
+                self.clocks[core],
+                self._iteration_done,
+            )
+            for core in cores
+        }
+        self._ran = False
+
+    def _build_walker_pool(self) -> WalkerPool:
+        system = self.system
+        cores = range(system.num_cores)
+        walk_in_dram = {cfg.walk_in_dram for cfg in system.npumem}
+        if len(walk_in_dram) != 1:
+            raise ValueError("walk_in_dram must be uniform across cores")
+        capacity = system.total_ptw
+        if system.share_ptw:
+            upper = system.misc.ptw_upper_bound or capacity
+            max_per_core = {core: upper for core in cores}
+            reserved = {core: system.misc.ptw_lower_bound for core in cores}
+        else:
+            assert system.ptw_assignment is not None
+            max_per_core = {core: system.ptw_assignment[core] for core in cores}
+            reserved = dict(max_per_core)
+        fixed = None
+        dram = self.dram
+        if not walk_in_dram.pop():
+            dram = None
+            fixed = {
+                core: ClockDomain(
+                    system.arch[core].freq_mhz, system.dram.freq_mhz
+                ).to_global(system.npumem[core].walk_level_latency_cycles)
+                for core in cores
+            }
+        return WalkerPool(
+            self.engine,
+            capacity,
+            self.page_tables,
+            dram=dram,
+            fixed_level_ticks=fixed,
+            max_per_core=max_per_core,
+            reserved_per_core=reserved,
+            pwc_entries={core: system.npumem[core].pwc_entries for core in cores},
+            logger=self.tracer,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _iteration_done(self, core_id: int) -> None:
+        misc = self.system.misc
+        if misc.iterations > 0:
+            if self.cores[core_id].stats.completed_iterations >= misc.iterations:
+                self.cores[core_id].halt()
+            return
+        # iterations == 0: co-runners loop until everyone finished once.
+        if all(
+            core.stats.first_completion_tick is not None
+            for core in self.cores.values()
+        ):
+            for core in self.cores.values():
+                core.halt()
+
+    def run(self, max_ticks: int | None = None) -> MixResult:
+        """Run the co-simulation to completion and collect results."""
+        if self._ran:
+            raise RuntimeError("a simulator instance runs once; build a new one")
+        self._ran = True
+        misc = self.system.misc
+        for core_id, core in self.cores.items():
+            core.start(misc.start_cycle + core_id * misc.start_stagger_cycles)
+        self.engine.run(until=max_ticks)
+        results = []
+        for core_id, core in sorted(self.cores.items()):
+            stats = core.stats
+            if stats.first_completion_tick is None:
+                raise RuntimeError(
+                    f"core {core_id} never completed an iteration "
+                    f"(simulated {self.engine.now} ticks); raise max_ticks or "
+                    "check the configuration"
+                )
+            ticks = stats.first_completion_tick - stats.start_tick
+            clock = self.clocks[core_id]
+            cycles = clock.to_local(ticks)
+            reqgen = self.reqgens[core_id]
+            network = self.networks[core_id]
+            first_iter_macs = network.total_macs
+            busy_local = min(stats.compute_busy_local, cycles)
+            walk_stats = self.walkers.stats[core_id]
+            mmu_stats = self.mmu.stats[core_id]
+            summary = reqgen.summary()
+            layer_cycles = tuple(
+                clock.to_local(end - begin)
+                for _, (begin, end) in sorted(stats.layer_spans.items())
+            )
+            results.append(
+                WorkloadResult(
+                    workload=network.name,
+                    core=core_id,
+                    cycles=cycles,
+                    ticks=ticks,
+                    pe_utilization=first_iter_macs
+                    / (cycles * self.system.arch[core_id].num_pes),
+                    compute_occupancy=busy_local / cycles if cycles else 0.0,
+                    traffic_bytes=int(summary["traffic_bytes"]),
+                    tlb_lookups=mmu_stats.lookups,
+                    tlb_misses=mmu_stats.misses,
+                    walks=walk_stats.walks,
+                    avg_walk_ticks=walk_stats.avg_walk_ticks(),
+                    avg_walk_queue_ticks=walk_stats.avg_queue_ticks(),
+                    completed_iterations=stats.completed_iterations,
+                    layer_cycles=layer_cycles,
+                )
+            )
+        utilization: dict[int, list[tuple[int, float]]] = {}
+        if self.dram.traces is not None:
+            for core_id, trace in self.dram.traces.items():
+                peak = self.dram.peak_bytes_per_tick(None)
+                utilization[core_id] = trace.utilization_series(peak)
+        return MixResult(
+            workloads=tuple(results),
+            dram=self.dram.stats,
+            total_ticks=self.engine.now,
+            bandwidth_utilization=utilization,
+        )

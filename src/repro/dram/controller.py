@@ -1,0 +1,173 @@
+"""The shared memory controller: address mapping, routing, partitioning.
+
+The controller decomposes physical addresses into (channel, bank group,
+bank, row, column) with a configurable DRAMsim3-style bit order, routes
+each transaction to its channel, and implements the paper's bandwidth
+*partitioning*: when DRAM is statically partitioned, a core's traffic
+interleaves only over its own channel subset (so a 1:7 split of the
+dual-core 256 GB/s system is 1 channel vs 7); when DRAM is shared (+D and
+up), every core interleaves over all channels and contends in the
+channel queues.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from repro.config.dram import DramConfig
+from repro.core.engine import Engine
+from repro.dram.channel import Channel, DramRequest
+from repro.dram.stats import BandwidthTrace, DramStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import TraceLogger
+
+
+class DramController:
+    """Routes transactions from cores (and page-table walkers) to channels."""
+
+    def __init__(
+        self,
+        cfg: DramConfig,
+        engine: Engine,
+        *,
+        transaction_bytes: int,
+        channels_per_core: dict[int, tuple[int, ...]],
+        trace_window_ticks: int | None = None,
+        logger: "TraceLogger | None" = None,
+    ) -> None:
+        """``channels_per_core`` maps core index -> allowed channel tuple.
+
+        Shared DRAM is expressed by giving every core the full channel
+        range; static partitions give disjoint subsets.
+        """
+        if not channels_per_core:
+            raise ValueError("at least one core must be wired to the controller")
+        for core, channels in channels_per_core.items():
+            if not channels:
+                raise ValueError(f"core {core} has no DRAM channels")
+            for channel in channels:
+                if not 0 <= channel < cfg.channels:
+                    raise ValueError(f"core {core} assigned invalid channel {channel}")
+        self.cfg = cfg
+        self.engine = engine
+        self.transaction_bytes = transaction_bytes
+        self.channels_per_core = dict(channels_per_core)
+        self.stats = DramStats()
+        self.logger = logger
+        self.traces: dict[int, BandwidthTrace] | None = None
+        self.total_trace: BandwidthTrace | None = None
+        trace_fn: Callable[[int, int, int], None] | None = None
+        if trace_window_ticks is not None:
+            self.traces = {
+                core: BandwidthTrace(trace_window_ticks) for core in channels_per_core
+            }
+            self.total_trace = BandwidthTrace(trace_window_ticks)
+            trace_fn = self._record_trace
+        burst = cfg.burst_cycles(transaction_bytes)
+        self.channels = [
+            Channel(
+                index=index,
+                cfg=cfg,
+                engine=engine,
+                burst_ticks=burst,
+                stats=self.stats,
+                trace=trace_fn,
+                transaction_bytes=transaction_bytes,
+            )
+            for index in range(cfg.channels)
+        ]
+        # Column field counts transactions per row.
+        self._cols_per_row = max(1, cfg.row_bytes // transaction_bytes)
+
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        core: int,
+        addr: int,
+        write: bool,
+        callback: Callable[[], None],
+        *,
+        is_walk: bool = False,
+    ) -> None:
+        """Issue one transaction; ``callback`` fires when its burst completes."""
+        channel_index, bank, row = self.decompose(core, addr)
+        if self.logger is not None:
+            callback = self._logged(
+                callback, self.engine.now, addr, core, channel_index, write, is_walk
+            )
+        request = DramRequest(
+            addr=addr,
+            write=write,
+            core=core,
+            callback=callback,
+            bank=bank,
+            row=row,
+            is_walk=is_walk,
+        )
+        self.channels[channel_index].enqueue(request)
+
+    def _logged(self, callback, start, addr, core, channel, write, is_walk):
+        def wrapped() -> None:
+            assert self.logger is not None
+            self.logger.log_dram(
+                start, self.engine.now, addr, core, channel, write, is_walk
+            )
+            callback()
+        return wrapped
+
+    def decompose(self, core: int, addr: int) -> tuple[int, int, int]:
+        """Map a physical address to (channel, bank-in-channel, row).
+
+        Fields are peeled off the transaction-granular address in the
+        configured order (least significant first).  The channel field
+        interleaves over the *core's allowed channels*, so partitioned
+        cores stripe across their own subset at full spatial locality.
+        Addresses beyond capacity wrap (the row field is taken modulo).
+        """
+        allowed = self.channels_per_core[core]
+        value = addr // self.transaction_bytes
+        channel = allowed[0]
+        bank_group = 0
+        bank_in_group = 0
+        row = 0
+        for token in self.cfg.mapping.order:
+            if token == "ch":
+                channel = allowed[value % len(allowed)]
+                value //= len(allowed)
+            elif token == "co":
+                value //= self._cols_per_row
+            elif token == "ba":
+                bank_in_group = value % self.cfg.banks_per_group
+                value //= self.cfg.banks_per_group
+            elif token == "bg":
+                bank_group = value % self.cfg.bank_groups
+                value //= self.cfg.bank_groups
+            else:  # "ro"
+                row = value % self.cfg.rows_per_bank
+                value //= self.cfg.rows_per_bank
+        bank = bank_group * self.cfg.banks_per_group + bank_in_group
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ #
+
+    def _record_trace(self, time: int, nbytes: int, core: int) -> None:
+        assert self.traces is not None and self.total_trace is not None
+        self.traces[core].record(time, nbytes)
+        self.total_trace.record(time, nbytes)
+
+    def peak_bytes_per_tick(self, core: int | None = None) -> float:
+        """Peak data-bus bytes per global tick (for a core's channel set)."""
+        if core is None:
+            count = self.cfg.channels
+        else:
+            count = len(self.channels_per_core[core])
+        return count * self.cfg.channel_bytes_per_cycle
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued across all channels."""
+        return sum(channel.occupancy for channel in self.channels)

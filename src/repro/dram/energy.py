@@ -1,0 +1,98 @@
+"""DRAM energy accounting (extension; DRAMsim3 is "thermal-capable").
+
+The event-driven DRAM model already counts the operations that dominate
+DRAM energy — row activations (row misses), column bursts, refreshes —
+so energy is pure post-processing over :class:`~repro.dram.stats.DramStats`
+plus elapsed time for background power.  Default coefficients approximate
+HBM2 (derived from published IDD-style numbers; they are meant for
+*relative* comparisons between configurations, not absolute joules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dram import DramConfig
+from repro.dram.stats import DramStats
+
+
+@dataclass(frozen=True)
+class DramEnergyParams:
+    """Per-operation DRAM energy coefficients."""
+
+    act_pre_pj: float = 900.0        #: one activate+precharge pair
+    read_pj_per_byte: float = 4.0    #: column read, per data byte
+    write_pj_per_byte: float = 4.4   #: column write, per data byte
+    refresh_pj: float = 25_000.0     #: one all-bank refresh
+    background_pw_per_channel: float = 15_000.0  #: static power, pW per channel
+
+    def __post_init__(self) -> None:
+        for name in (
+            "act_pre_pj", "read_pj_per_byte", "write_pj_per_byte",
+            "refresh_pj", "background_pw_per_channel",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per component, in picojoules."""
+
+    activate_pj: float
+    read_pj: float
+    write_pj: float
+    refresh_pj: float
+    background_pj: float
+
+    @property
+    def total_pj(self) -> float:
+        """Sum of all components."""
+        return (
+            self.activate_pj + self.read_pj + self.write_pj
+            + self.refresh_pj + self.background_pj
+        )
+
+    @property
+    def dynamic_pj(self) -> float:
+        """Everything except background power."""
+        return self.total_pj - self.background_pj
+
+    def as_dict(self) -> dict[str, float]:
+        """Breakdown plus totals, for reports."""
+        return {
+            "activate_pj": self.activate_pj,
+            "read_pj": self.read_pj,
+            "write_pj": self.write_pj,
+            "refresh_pj": self.refresh_pj,
+            "background_pj": self.background_pj,
+            "dynamic_pj": self.dynamic_pj,
+            "total_pj": self.total_pj,
+        }
+
+
+def dram_energy(
+    stats: DramStats,
+    cfg: DramConfig,
+    elapsed_ticks: int,
+    transaction_bytes: int,
+    params: DramEnergyParams = DramEnergyParams(),
+) -> EnergyBreakdown:
+    """Energy consumed by the DRAM over a simulated interval.
+
+    ``elapsed_ticks`` are global (DRAM-clock) cycles; at 1 GHz one tick
+    is 1 ns, so background power in pW contributes pJ per tick directly.
+    """
+    if elapsed_ticks < 0:
+        raise ValueError("elapsed time cannot be negative")
+    ns_per_tick = 1000.0 / cfg.freq_mhz
+    return EnergyBreakdown(
+        activate_pj=stats.row_misses * params.act_pre_pj,
+        read_pj=stats.reads * transaction_bytes * params.read_pj_per_byte,
+        write_pj=stats.writes * transaction_bytes * params.write_pj_per_byte,
+        refresh_pj=stats.refreshes * params.refresh_pj,
+        background_pj=(
+            elapsed_ticks * ns_per_tick
+            * cfg.channels * params.background_pw_per_channel * 1e-3
+        ),
+    )

@@ -1,0 +1,71 @@
+"""DRAM statistics: per-core counters and windowed bandwidth traces.
+
+The windowed trace backs the paper's Figure 2(b) (moving average of
+memory requests over 1000-cycle windows) and Figure 12 (DRAM bandwidth
+utilization over time, normalized to peak).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BandwidthTrace:
+    """Bytes transferred per fixed-size window of global ticks."""
+
+    window_ticks: int
+    _windows: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, time: int, nbytes: int) -> None:
+        """Account ``nbytes`` of data-bus traffic finishing at ``time``."""
+        self._windows[time // self.window_ticks] += nbytes
+
+    def series(self) -> list[tuple[int, int]]:
+        """``(window_start_tick, bytes)`` pairs, sorted, gaps filled with 0."""
+        if not self._windows:
+            return []
+        last = max(self._windows)
+        return [
+            (index * self.window_ticks, self._windows.get(index, 0))
+            for index in range(last + 1)
+        ]
+
+    def utilization_series(self, peak_bytes_per_tick: float) -> list[tuple[int, float]]:
+        """Per-window bandwidth utilization, normalized to the peak."""
+        per_window_peak = peak_bytes_per_tick * self.window_ticks
+        return [(start, nbytes / per_window_peak) for start, nbytes in self.series()]
+
+
+@dataclass
+class DramStats:
+    """Aggregate counters the controller updates as it services requests."""
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    refreshes: int = 0
+    bytes_per_core: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    queueing_ticks_total: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total serviced requests."""
+        return self.reads + self.writes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of requests that hit an open row."""
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Total data moved across all cores."""
+        return sum(self.bytes_per_core.values())
+
+    def avg_queueing_ticks(self) -> float:
+        """Mean ticks a request spent between enqueue and data completion."""
+        return self.queueing_ticks_total / self.requests if self.requests else 0.0

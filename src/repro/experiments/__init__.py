@@ -1,0 +1,14 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.mixes import all_mixes, mix_label
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments import figures
+from repro.experiments.report import format_table
+
+__all__ = [
+    "all_mixes",
+    "mix_label",
+    "ExperimentRunner",
+    "figures",
+    "format_table",
+]

@@ -1,0 +1,630 @@
+"""Per-figure/table reducers: each function regenerates one paper result.
+
+Every function returns plain dicts/lists ready for printing (see
+``repro.experiments.report``) or plotting.  Simulation results come from
+an :class:`~repro.experiments.runner.ExperimentRunner`, so repeated calls
+are served from the on-disk cache.
+
+Index (paper -> function):
+
+====== =============================================
+Fig 2b :func:`fig2_burstiness`
+Fig 4  :func:`fig4_dual_performance`
+Fig 5  :func:`fig5_quad_performance`
+Fig 6  :func:`fig6_dual_fairness`
+Fig 7  :func:`fig7_quad_fairness`
+Fig 8  :func:`fig8_sensitivity`
+Fig 9  :func:`fig9_bandwidth_partition_performance`
+Fig 10 :func:`fig10_bandwidth_partition_fairness`
+Fig 11 :func:`fig11_bandwidth_sweep`
+Fig 12 :func:`fig12_bandwidth_utilization`
+Fig 13 :func:`fig13_ptw_partition_performance`
+Fig 14 :func:`fig14_ptw_partition_fairness`
+Fig 15 :func:`fig15_pagesize_single`
+Fig 16 :func:`fig16_pagesize_multi`
+Fig 17 :func:`repro.mapping.mapper.fig17_mapping_performance`
+Fig 18 :func:`repro.mapping.mapper.fig18_mapping_fairness`
+Tab 1  :func:`table1_models`
+Tab 2  :func:`table2_configuration`
+====== =============================================
+"""
+
+from __future__ import annotations
+
+
+from typing import Any, Sequence
+
+from repro.config import presets
+from repro.config.misc import MiscConfig
+from repro.core.metrics import box_stats, cdf_points, fairness, geomean
+from repro.core.sharing import SWEEP_LEVELS, SharingLevel
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.mixes import all_mixes, mix_label
+from repro.experiments.runner import ExperimentRunner
+from repro.models import zoo
+
+#: DRAM-bandwidth ratio splits of section 4.3 (eight channels, dual-core).
+BW_SPLITS = ((1, 7), (2, 6), (4, 4), (6, 2), (7, 1))
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------- #
+
+
+def _ideal_cycles(
+    runner: ExperimentRunner,
+    num_cores: int,
+    *,
+    page_bytes: int = 4096,
+    translation: bool = True,
+) -> dict[str, int]:
+    return {
+        name: runner.ideal(
+            name, num_cores, page_bytes=page_bytes, translation=translation
+        )["cycles"]
+        for name in zoo.NAMES
+    }
+
+
+def _static_cycles(
+    runner: ExperimentRunner,
+    *,
+    page_bytes: int = 4096,
+    translation: bool = True,
+) -> dict[str, int]:
+    return {
+        name: runner.static_equal(
+            name, page_bytes=page_bytes, translation=translation
+        )["cycles"]
+        for name in zoo.NAMES
+    }
+
+
+def mix_speedups(
+    runner: ExperimentRunner,
+    mix: Sequence[str],
+    level: SharingLevel,
+    ideal: dict[str, int],
+    static: dict[str, int],
+    *,
+    page_bytes: int = 4096,
+    translation: bool = True,
+) -> list[float]:
+    """Per-workload speedups (vs Ideal) of a mix under one sharing level."""
+    if level is SharingLevel.STATIC:
+        return [ideal[name] / static[name] for name in mix]
+    results = runner.mix(
+        mix, level, page_bytes=page_bytes, translation=translation
+    )
+    return [
+        ideal[name] / result["cycles"] for name, result in zip(mix, results)
+    ]
+
+
+def _sharing_sweep(
+    runner: ExperimentRunner,
+    num_cores: int,
+    mixes: Sequence[tuple[str, ...]] | None,
+) -> dict[str, Any]:
+    """Speedups and fairness for every mix under all four sweep levels."""
+    mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    ideal = _ideal_cycles(runner, num_cores)
+    static = _static_cycles(runner)
+    per_mix: dict[str, dict[str, list[float]]] = {}
+    for mix in mixes:
+        label = mix_label(mix)
+        per_mix[label] = {}
+        for level in SWEEP_LEVELS:
+            per_mix[label][level.label] = mix_speedups(
+                runner, mix, level, ideal, static
+            )
+    return {
+        "num_cores": num_cores,
+        "mixes": [mix_label(mix) for mix in mixes],
+        "mix_tuples": [list(mix) for mix in mixes],
+        "levels": [level.label for level in SWEEP_LEVELS],
+        "speedups": per_mix,
+    }
+
+
+def _geomeans_by_level(sweep: dict[str, Any]) -> dict[str, dict[str, float]]:
+    result: dict[str, dict[str, float]] = {}
+    for label, by_level in sweep["speedups"].items():
+        result[label] = {
+            level: geomean(speeds) for level, speeds in by_level.items()
+        }
+    return result
+
+
+def _fairness_by_level(sweep: dict[str, Any]) -> dict[str, dict[str, float]]:
+    result: dict[str, dict[str, float]] = {}
+    for label, by_level in sweep["speedups"].items():
+        result[label] = {
+            level: fairness([1.0 / value for value in speeds])
+            for level, speeds in by_level.items()
+        }
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Tables 1 & 2
+# --------------------------------------------------------------------- #
+
+
+def table1_models(scale: str = "mini") -> list[dict[str, Any]]:
+    """Table 1: the benchmark models, with their topology statistics."""
+    rows = []
+    for name in zoo.NAMES:
+        network = zoo.get(name, scale)
+        rows.append(
+            {
+                "type": zoo.CATEGORIES[name],
+                "model": name,
+                "layers": len(network.layers),
+                "macs": network.total_macs,
+                "unique_bytes": network.total_bytes,
+                "arithmetic_intensity": round(network.arithmetic_intensity, 2),
+            }
+        )
+    return rows
+
+
+def table2_configuration(scale: str = "mini") -> dict[str, Any]:
+    """Table 2: the baseline single-core NPU + DRAM configuration."""
+    arch = presets.cloud_arch(scale)
+    npumem = presets.cloud_npumem(scale)
+    dram = presets.hbm2_dram(scale)
+    return {
+        "scale": scale,
+        "systolic_array": f"{arch.array_rows}x{arch.array_cols}",
+        "spm_bytes": arch.spm_bytes,
+        "core_freq_mhz": arch.freq_mhz,
+        "tlb_associativity": npumem.tlb_assoc,
+        "tlb_entries_per_npu": npumem.tlb_entries,
+        "ptw_per_npu": npumem.num_ptw,
+        "dram_model": dram.preset,
+        "bandwidth_per_npu_gbs": dram.peak_bandwidth_bytes_per_sec() / 1e9,
+        "dram_capacity_bytes": dram.capacity_bytes,
+        "dram_freq_mhz": dram.freq_mhz,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figure 2(b): burstiness
+# --------------------------------------------------------------------- #
+
+
+def fig2_burstiness(
+    workload: str = "ncf",
+    scale: str = "mini",
+    window: int = 1000,
+) -> dict[str, Any]:
+    """Moving count of DRAM requests per window for a single-core run."""
+    system = presets.solo_slice(
+        scale=scale, misc=MiscConfig(iterations=1, trace_window_cycles=window)
+    )
+    sim = MultiCoreNPUSim(system, [zoo.get(workload, scale)], trace_bandwidth=True)
+    result = sim.run()
+    trace = sim.dram.traces[0]
+    txn = system.arch[0].dram_transaction_bytes
+    series = [(start, nbytes // txn) for start, nbytes in trace.series()]
+    counts = [count for _, count in series]
+    peak = max(counts)
+    mean = sum(counts) / len(counts)
+    return {
+        "workload": workload,
+        "window_cycles": window,
+        "series": series,
+        "peak_requests_per_window": peak,
+        "mean_requests_per_window": mean,
+        "burst_ratio": peak / mean if mean else 0.0,
+        "total_cycles": result.workloads[0].cycles,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figures 4-7: sharing levels, performance and fairness
+# --------------------------------------------------------------------- #
+
+
+def fig4_dual_performance(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Dual-core per-mix geomean speedups for Static/+D/+DW/+DWT."""
+    sweep = _sharing_sweep(runner, 2, mixes)
+    per_mix = _geomeans_by_level(sweep)
+    overall = {
+        level.label: geomean([per_mix[m][level.label] for m in sweep["mixes"]])
+        for level in SWEEP_LEVELS
+    }
+    return {"per_mix": per_mix, "overall": overall, "sweep": sweep}
+
+
+def fig5_quad_performance(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Quad-core CDF of per-mix geomean speedups per sharing level."""
+    sweep = _sharing_sweep(runner, 4, mixes)
+    per_mix = _geomeans_by_level(sweep)
+    cdfs = {}
+    overall = {}
+    for level in SWEEP_LEVELS:
+        values = [per_mix[m][level.label] for m in sweep["mixes"]]
+        cdfs[level.label] = cdf_points(values)
+        overall[level.label] = geomean(values)
+    return {"per_mix": per_mix, "cdf": cdfs, "overall": overall, "sweep": sweep}
+
+
+def fig6_dual_fairness(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Dual-core fairness (Equation 1) per mix and sharing level."""
+    sweep = _sharing_sweep(runner, 2, mixes)
+    per_mix = _fairness_by_level(sweep)
+    overall = {
+        level.label: geomean([per_mix[m][level.label] for m in sweep["mixes"]])
+        for level in SWEEP_LEVELS
+    }
+    return {"per_mix": per_mix, "overall": overall}
+
+
+def fig7_quad_fairness(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Quad-core fairness CDF per sharing level."""
+    sweep = _sharing_sweep(runner, 4, mixes)
+    per_mix = _fairness_by_level(sweep)
+    cdfs = {}
+    overall = {}
+    for level in SWEEP_LEVELS:
+        values = [per_mix[m][level.label] for m in sweep["mixes"]]
+        cdfs[level.label] = cdf_points(values)
+        overall[level.label] = geomean(values)
+    return {"per_mix": per_mix, "cdf": cdfs, "overall": overall}
+
+
+# --------------------------------------------------------------------- #
+# Figure 8: per-workload contention sensitivity
+# --------------------------------------------------------------------- #
+
+
+def fig8_sensitivity(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Distribution of each workload's +DWT speedup across co-runners."""
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    ideal = _ideal_cycles(runner, 2)
+    samples: dict[str, list[float]] = {name: [] for name in zoo.NAMES}
+    for mix in mixes:
+        results = runner.mix(mix, SharingLevel.DWT)
+        for name, result in zip(mix, results):
+            samples[name].append(ideal[name] / result["cycles"])
+    boxes = {
+        name: box_stats(values) for name, values in samples.items() if values
+    }
+    spread = {
+        name: box["max"] - box["min"] for name, box in boxes.items()
+    }
+    return {"samples": samples, "boxes": boxes, "range": spread}
+
+
+# --------------------------------------------------------------------- #
+# Figures 9-10: DRAM bandwidth partitioning (translation disabled)
+# --------------------------------------------------------------------- #
+
+
+def _bw_partition_sweep(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None
+) -> dict[str, Any]:
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    channels = runner.per_core["channels"]
+    ideal = _ideal_cycles(runner, 2, translation=False)
+    # Solo cycles at each static channel share (1..7 of 8).
+    share_cycles: dict[int, dict[str, int]] = {}
+    for share in sorted({part for split in BW_SPLITS for part in split}):
+        share_cycles[share] = {
+            name: runner.solo(
+                name,
+                channels=channels * 2 * share // 8,
+                translation=False,
+            )["cycles"]
+            for name in zoo.NAMES
+        }
+    per_mix: dict[str, dict[str, Any]] = {}
+    for mix in mixes:
+        label = mix_label(mix)
+        schemes: dict[str, list[float]] = {}
+        for left, right in BW_SPLITS:
+            schemes[f"{left}:{right}"] = [
+                ideal[mix[0]] / share_cycles[left][mix[0]],
+                ideal[mix[1]] / share_cycles[right][mix[1]],
+            ]
+        dynamic = runner.mix(mix, SharingLevel.D, translation=False)
+        schemes["Dynamic"] = [
+            ideal[name] / result["cycles"] for name, result in zip(mix, dynamic)
+        ]
+        best = max(
+            (f"{l}:{r}" for l, r in BW_SPLITS),
+            key=lambda scheme: geomean(schemes[scheme]),
+        )
+        schemes["Static Best"] = schemes[best]
+        per_mix[label] = {"schemes": schemes, "best_static": best}
+    return {"per_mix": per_mix, "mixes": [mix_label(mix) for mix in mixes]}
+
+
+def fig9_bandwidth_partition_performance(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Geomean performance per bandwidth-partitioning scheme (dual-core)."""
+    sweep = _bw_partition_sweep(runner, mixes)
+    scheme_names = [f"{l}:{r}" for l, r in BW_SPLITS] + ["Static Best", "Dynamic"]
+    overall = {}
+    per_mix = {}
+    for scheme in scheme_names:
+        values = []
+        for label in sweep["mixes"]:
+            value = geomean(sweep["per_mix"][label]["schemes"][scheme])
+            per_mix.setdefault(label, {})[scheme] = value
+            values.append(value)
+        overall[scheme] = geomean(values)
+    return {"per_mix": per_mix, "overall": overall, "schemes": scheme_names}
+
+
+def fig10_bandwidth_partition_fairness(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Geomean fairness per bandwidth-partitioning scheme (dual-core)."""
+    sweep = _bw_partition_sweep(runner, mixes)
+    scheme_names = [f"{l}:{r}" for l, r in BW_SPLITS] + ["Static Best", "Dynamic"]
+    overall = {}
+    per_mix = {}
+    for scheme in scheme_names:
+        values = []
+        for label in sweep["mixes"]:
+            speeds = sweep["per_mix"][label]["schemes"][scheme]
+            value = fairness([1.0 / s for s in speeds])
+            per_mix.setdefault(label, {})[scheme] = value
+            values.append(value)
+        overall[scheme] = geomean(values)
+    return {"per_mix": per_mix, "overall": overall, "schemes": scheme_names}
+
+
+# --------------------------------------------------------------------- #
+# Figure 11: bandwidth sweep
+# --------------------------------------------------------------------- #
+
+
+def fig11_bandwidth_sweep(runner: ExperimentRunner) -> dict[str, Any]:
+    """Single-core speedup vs DRAM bandwidth, normalized to the smallest.
+
+    Channel counts 1/2/4/6/8 reproduce the paper's 32-256 GB/s sweep
+    (every channel is one 32 GB/s share at full scale).
+    """
+    counts = (1, 2, 4, 6, 8)
+    per_workload: dict[str, list[tuple[int, float]]] = {}
+    for name in zoo.NAMES:
+        base = runner.solo(name, channels=counts[0])["cycles"]
+        series = []
+        for count in counts:
+            cycles = runner.solo(name, channels=count)["cycles"]
+            series.append((count, base / cycles))
+        per_workload[name] = series
+    return {"channel_counts": counts, "speedup": per_workload}
+
+
+# --------------------------------------------------------------------- #
+# Figure 12: bandwidth utilization over time
+# --------------------------------------------------------------------- #
+
+
+def fig12_bandwidth_utilization(
+    workloads: tuple[str, str] = ("ds2", "gpt2"),
+    scale: str = "mini",
+    window: int = 1000,
+) -> dict[str, Any]:
+    """Per-workload bandwidth utilization under Ideal, plus their sum.
+
+    Each workload runs alone on the dual-core Ideal resource pool; the
+    summed series shows how often the combined demand exceeds half (and
+    even all) of the peak — the paper's argument for dynamic sharing.
+    """
+    per = presets.per_core_resources(scale)
+    series: dict[str, list[tuple[int, float]]] = {}
+    for name in workloads:
+        system = presets.solo_slice(
+            scale=scale,
+            channels=per["channels"] * 2,
+            num_ptw=per["num_ptw"] * 2,
+            tlb_entries=per["tlb_entries"] * 2,
+            misc=MiscConfig(iterations=1, trace_window_cycles=window),
+        )
+        sim = MultiCoreNPUSim(system, [zoo.get(name, scale)], trace_bandwidth=True)
+        sim.run()
+        peak = sim.dram.peak_bytes_per_tick()
+        series[name] = sim.dram.traces[0].utilization_series(peak)
+    length = max(len(values) for values in series.values())
+    combined = []
+    for index in range(length):
+        total = 0.0
+        for values in series.values():
+            if index < len(values):
+                total += values[index][1]
+        combined.append((index * window, total))
+    label = "+".join(workloads)
+    over_half = sum(1 for _, value in combined if value > 0.5) / len(combined)
+    over_peak = sum(1 for _, value in combined if value > 1.0) / len(combined)
+    return {
+        "series": series,
+        "combined": {label: combined},
+        "fraction_over_half_peak": over_half,
+        "fraction_over_peak": over_peak,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Figures 13-14: PTW partitioning
+# --------------------------------------------------------------------- #
+
+
+#: Walker splits of section 4.4.1.  The paper splits its 16-walker dual
+#: pool at ratios 1:7..7:1; the mini system's baseline pool (1 walker per
+#: core) cannot express ratios, so this study doubles the per-core walker
+#: count to a 4-walker pool and splits it 1:3 / 2:2 / 3:1 — analogous to
+#: how the bandwidth study of section 4.3 disables translation to
+#: isolate its resource.
+PTW_SPLITS = ((1, 3), (2, 2), (3, 1))
+_PTW_PER_CORE_FACTOR = 2
+
+
+def _ptw_partition_sweep(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None
+) -> dict[str, Any]:
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    per_core = runner.per_core["num_ptw"] * _PTW_PER_CORE_FACTOR
+    ideal = {
+        name: runner.solo(
+            name,
+            channels=runner.per_core["channels"] * 2,
+            num_ptw=per_core * 2,
+            tlb_entries=runner.per_core["tlb_entries"] * 2,
+        )["cycles"]
+        for name in zoo.NAMES
+    }
+    per_mix: dict[str, dict[str, list[float]]] = {}
+    for mix in mixes:
+        label = mix_label(mix)
+        schemes: dict[str, list[float]] = {}
+        for left, right in PTW_SPLITS:
+            results = runner.mix(
+                mix,
+                SharingLevel.D,
+                ptw_split=(left, right),
+                num_ptw_per_core=per_core,
+            )
+            schemes[f"{left}:{right}"] = [
+                ideal[name] / result["cycles"]
+                for name, result in zip(mix, results)
+            ]
+        dynamic = runner.mix(mix, SharingLevel.DW, num_ptw_per_core=per_core)
+        schemes["Dynamic"] = [
+            ideal[name] / result["cycles"] for name, result in zip(mix, dynamic)
+        ]
+        per_mix[label] = schemes
+    scheme_names = [f"{l}:{r}" for l, r in PTW_SPLITS] + ["Dynamic"]
+    return {
+        "per_mix": per_mix,
+        "mixes": [mix_label(mix) for mix in mixes],
+        "schemes": scheme_names,
+    }
+
+
+def fig13_ptw_partition_performance(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Geomean performance per walker-partitioning scheme (dual-core)."""
+    sweep = _ptw_partition_sweep(runner, mixes)
+    overall = {}
+    per_mix: dict[str, dict[str, float]] = {}
+    for scheme in sweep["schemes"]:
+        values = []
+        for label in sweep["mixes"]:
+            value = geomean(sweep["per_mix"][label][scheme])
+            per_mix.setdefault(label, {})[scheme] = value
+            values.append(value)
+        overall[scheme] = geomean(values)
+    return {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]}
+
+
+def fig14_ptw_partition_fairness(
+    runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
+) -> dict[str, Any]:
+    """Geomean fairness per walker-partitioning scheme (dual-core)."""
+    sweep = _ptw_partition_sweep(runner, mixes)
+    overall = {}
+    per_mix: dict[str, dict[str, float]] = {}
+    for scheme in sweep["schemes"]:
+        values = []
+        for label in sweep["mixes"]:
+            speeds = sweep["per_mix"][label][scheme]
+            value = fairness([1.0 / s for s in speeds])
+            per_mix.setdefault(label, {})[scheme] = value
+            values.append(value)
+        overall[scheme] = geomean(values)
+    return {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]}
+
+
+# --------------------------------------------------------------------- #
+# Figures 15-16: page sizes
+# --------------------------------------------------------------------- #
+
+PAGE_SIZES = (4096, 65536, 1048576)
+_PAGE_LABELS = {4096: "4KB", 65536: "64KB", 1048576: "1MB"}
+
+
+def fig15_pagesize_single(runner: ExperimentRunner) -> dict[str, Any]:
+    """Single-core speedup of 64KB/1MB pages over 4KB, per workload."""
+    per_workload: dict[str, dict[str, float]] = {}
+    for name in zoo.NAMES:
+        base = runner.solo(name, page_bytes=4096)["cycles"]
+        per_workload[name] = {
+            _PAGE_LABELS[size]: base / runner.solo(name, page_bytes=size)["cycles"]
+            for size in PAGE_SIZES[1:]
+        }
+    overall = {
+        label: geomean([per_workload[name][label] for name in zoo.NAMES])
+        for label in ("64KB", "1MB")
+    }
+    return {"per_workload": per_workload, "overall": overall}
+
+
+def fig16_pagesize_multi(
+    runner: ExperimentRunner,
+    num_cores: int,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> dict[str, Any]:
+    """Multi-core (+DWT) page-size performance and fairness.
+
+    Performance is normalized to the 4KB page (per mix geomean of cycle
+    ratios); fairness baseline is Ideal at the matching page size.
+    """
+    mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    perf: dict[str, dict[str, float]] = {}
+    fair: dict[str, dict[str, float]] = {}
+    ideal = {
+        size: _ideal_cycles(runner, num_cores, page_bytes=size)
+        for size in PAGE_SIZES
+    }
+    for mix in mixes:
+        label = mix_label(mix)
+        by_size: dict[int, list[dict[str, Any]]] = {
+            size: runner.mix(mix, SharingLevel.DWT, page_bytes=size)
+            for size in PAGE_SIZES
+        }
+        perf[label] = {}
+        fair[label] = {}
+        base = [result["cycles"] for result in by_size[4096]]
+        for size in PAGE_SIZES:
+            cycles = [result["cycles"] for result in by_size[size]]
+            perf[label][_PAGE_LABELS[size]] = geomean(
+                [b / c for b, c in zip(base, cycles)]
+            )
+            slowdowns = [
+                result["cycles"] / ideal[size][name]
+                for name, result in zip(mix, by_size[size])
+            ]
+            fair[label][_PAGE_LABELS[size]] = fairness(slowdowns)
+    labels = [_PAGE_LABELS[size] for size in PAGE_SIZES]
+    overall_perf = {
+        label: geomean([perf[m][label] for m in perf]) for label in labels
+    }
+    overall_fair = {
+        label: geomean([fair[m][label] for m in fair]) for label in labels
+    }
+    return {
+        "num_cores": num_cores,
+        "performance": perf,
+        "fairness": fair,
+        "overall_performance": overall_perf,
+        "overall_fairness": overall_fair,
+    }

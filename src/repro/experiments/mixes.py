@@ -1,0 +1,44 @@
+"""Workload-mix enumeration (paper section 4.1.1).
+
+The paper evaluates *every* multiset of the eight benchmarks: M(8,2) = 36
+dual-core mixes, M(8,4) = 330 quad-core mixes, and M(8,8) = 6435
+eight-workload sets for the mapping study (combinations with repetition).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.models import zoo
+
+
+def all_mixes(k: int, names: Sequence[str] | None = None) -> list[tuple[str, ...]]:
+    """All multisets of size ``k`` over the benchmark names, sorted."""
+    if k <= 0:
+        raise ValueError("mix size must be positive")
+    pool = tuple(names) if names is not None else zoo.NAMES
+    return list(itertools.combinations_with_replacement(pool, k))
+
+
+def mix_label(mix: Sequence[str]) -> str:
+    """Canonical display label, e.g. ``"ncf+gpt2"``."""
+    return "+".join(mix)
+
+
+def subset_mixes(
+    k: int, limit: int, names: Sequence[str] | None = None
+) -> list[tuple[str, ...]]:
+    """A deterministic, evenly-spread subset of ``all_mixes(k)``.
+
+    Used by the quick benchmark mode on machines where the full 330-mix
+    quad sweep is too slow; strided selection keeps the workload-type
+    coverage balanced.
+    """
+    mixes = all_mixes(k, names)
+    if limit <= 0:
+        raise ValueError("limit must be positive")
+    if limit >= len(mixes):
+        return mixes
+    stride = len(mixes) / limit
+    return [mixes[int(index * stride)] for index in range(limit)]

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment results (the bench harness output)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[col]) for row in cells)) if cells else len(str(header))
+        for col, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, mapping: Mapping[str, Any]) -> str:
+    """Render a key/value mapping as a two-column table."""
+    return format_table(
+        ["key", "value"], [(key, value) for key, value in mapping.items()], title=title
+    )
+
+
+def cdf_summary(points: Sequence[tuple[float, float]]) -> dict[str, float]:
+    """p10/p50/p90 summary of a CDF's value axis."""
+    if not points:
+        return {}
+    values = [value for value, _ in points]
+    def pick(fraction: float) -> float:
+        index = min(len(values) - 1, int(fraction * len(values)))
+        return values[index]
+    return {"p10": pick(0.10), "p50": pick(0.50), "p90": pick(0.90)}
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

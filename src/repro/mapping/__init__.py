@@ -1,0 +1,18 @@
+"""Workload mapping onto multiple multi-core NPUs (paper section 4.6)."""
+
+from repro.mapping.predictor import SlowdownPredictor, WorkloadProfile
+from repro.mapping.mapper import (
+    MappingStudy,
+    pairings,
+    fig17_mapping_performance,
+    fig18_mapping_fairness,
+)
+
+__all__ = [
+    "SlowdownPredictor",
+    "WorkloadProfile",
+    "MappingStudy",
+    "pairings",
+    "fig17_mapping_performance",
+    "fig18_mapping_fairness",
+]

@@ -1,0 +1,128 @@
+"""Multi-factor regression slowdown predictor (paper section 4.6.1).
+
+Predicts the slowdown a workload suffers from a given co-runner on a
+dual-core NPU, using only *profiled* per-workload information: PE
+utilization (lower = more memory pressure), memory traffic per unit of
+execution, and the execution-time ratio between the two workloads (the
+paper's correction factor for residual effects like TLB conflicts).
+
+To avoid overfitting the eight evaluation benchmarks, the model is
+trained on DeepSniffer-style randomly generated networks (conv/GEMM
+layers with realistic random dimensions) whose pairwise contention is
+simulated with the same simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compute.requestgen import RequestGenerator
+from repro.config import presets
+from repro.core.sharing import SharingLevel
+from repro.experiments.runner import ExperimentRunner
+from repro.models.layers import Network
+from repro.models.random_net import random_network
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Profiled features of one workload (no co-runner knowledge)."""
+
+    name: str
+    pe_utilization: float      #: MACs per array-MAC-slot, memory-ideal
+    traffic_per_cycle: float   #: bytes of DRAM traffic per ideal cycle
+    ideal_cycles: float        #: profiled solo latency (Ideal resources)
+
+
+def profile_workload(
+    runner: ExperimentRunner, network: Network, num_cores: int = 2
+) -> WorkloadProfile:
+    """Profile a workload: request-generator statistics + one Ideal run."""
+    runner.register_network(network)
+    arch = presets.cloud_arch(runner.scale)
+    summary = RequestGenerator(network, arch).summary()
+    ideal = runner.ideal(network.name, num_cores)
+    return WorkloadProfile(
+        name=network.name,
+        pe_utilization=summary["pe_utilization"],
+        traffic_per_cycle=summary["traffic_bytes"] / max(1.0, ideal["cycles"]),
+        ideal_cycles=float(ideal["cycles"]),
+    )
+
+
+def _features(a: WorkloadProfile, b: WorkloadProfile) -> list[float]:
+    """Feature vector for predicting the slowdown of ``a`` beside ``b``."""
+    return [
+        1.0,
+        a.pe_utilization,
+        b.pe_utilization,
+        a.traffic_per_cycle,
+        b.traffic_per_cycle,
+        a.traffic_per_cycle * b.traffic_per_cycle,
+        math.log(a.ideal_cycles / b.ideal_cycles),
+    ]
+
+
+class SlowdownPredictor:
+    """Least-squares slowdown model over co-runner feature vectors."""
+
+    def __init__(self) -> None:
+        self._weights: np.ndarray | None = None
+        self.training_error: float | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has fit the weights."""
+        return self._weights is not None
+
+    def train(
+        self,
+        runner: ExperimentRunner,
+        *,
+        num_random_nets: int = 12,
+        seed: int = 2023,
+    ) -> None:
+        """Fit on random-network pairs simulated under +DWT.
+
+        Every unordered pair of the generated networks contributes two
+        ordered samples (each side's observed slowdown).
+        """
+        networks = [
+            random_network(seed + index, name=f"rand{seed + index}")
+            for index in range(num_random_nets)
+        ]
+        profiles = {
+            network.name: profile_workload(runner, network)
+            for network in networks
+        }
+        rows: list[list[float]] = []
+        targets: list[float] = []
+        for i, left in enumerate(networks):
+            for right in networks[i:]:
+                results = runner.mix(
+                    (left.name, right.name), SharingLevel.DWT
+                )
+                pair = (left.name, right.name)
+                for name, result in zip(pair, results):
+                    other = pair[1] if name == pair[0] else pair[0]
+                    observed = result["cycles"] / profiles[name].ideal_cycles
+                    rows.append(_features(profiles[name], profiles[other]))
+                    targets.append(observed)
+        matrix = np.asarray(rows)
+        vector = np.asarray(targets)
+        weights, *_ = np.linalg.lstsq(matrix, vector, rcond=None)
+        self._weights = weights
+        predictions = matrix @ weights
+        self.training_error = float(
+            np.sqrt(np.mean((predictions - vector) ** 2))
+        )
+
+    def predict(self, a: WorkloadProfile, b: WorkloadProfile) -> float:
+        """Predicted slowdown of ``a`` when co-running with ``b``."""
+        if self._weights is None:
+            raise RuntimeError("call train() first")
+        value = float(np.dot(self._weights, _features(a, b)))
+        return max(1.0, value)  # co-runners cannot speed a workload up

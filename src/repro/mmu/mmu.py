@@ -1,0 +1,134 @@
+"""The MMU front-end: TLB lookup, miss coalescing, walk orchestration.
+
+Every DMA transaction translates its virtual address here before touching
+DRAM.  Hits return synchronously (the caller accounts the TLB's lookup
+latency in its own issue pipeline); misses register a callback, coalesce
+with any in-flight walk of the same page (NeuMMU's pending-translation
+registers — essential, since a 4 KB page spans many transactions), and
+complete when the walker pool finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from typing import TYPE_CHECKING
+
+from repro.config.npumem import NpuMemConfig
+from repro.mmu.pagetable import PageTable
+from repro.mmu.ptw import WalkerPool
+from repro.mmu.tlb import Tlb
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tracing import TraceLogger
+
+
+@dataclass
+class TranslationStats:
+    """Per-core translation counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    walks_started: int = 0
+    coalesced: int = 0
+
+    @property
+    def misses(self) -> int:
+        """TLB misses (walks started + coalesced onto in-flight walks)."""
+        return self.lookups - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per lookup."""
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class Mmu:
+    """Translation front-end for all cores of one simulated system."""
+
+    def __init__(
+        self,
+        npumem_per_core: dict[int, NpuMemConfig],
+        page_tables: dict[int, PageTable],
+        walkers: WalkerPool,
+        *,
+        shared_tlb: bool,
+        logger: "TraceLogger | None" = None,
+    ) -> None:
+        if set(npumem_per_core) != set(page_tables):
+            raise ValueError("npumem configs and page tables must cover the same cores")
+        self.cfg = dict(npumem_per_core)
+        self.page_tables = dict(page_tables)
+        self.walkers = walkers
+        self.shared_tlb = shared_tlb
+        self.logger = logger
+        self.stats = {core: TranslationStats() for core in self.cfg}
+        self._tlbs: dict[int, Tlb] = {}
+        if shared_tlb:
+            # One TLB with the combined capacity; associativity follows the
+            # per-core config (the paper keeps 8-way to curb inter-NPU
+            # conflict misses, section 4.4.2).
+            entries = sum(cfg.tlb_entries for cfg in self.cfg.values())
+            assoc = max(cfg.tlb_assoc for cfg in self.cfg.values())
+            shared = Tlb(entries, assoc, name="shared-tlb")
+            for core in self.cfg:
+                self._tlbs[core] = shared
+        else:
+            for core, cfg in self.cfg.items():
+                self._tlbs[core] = Tlb(cfg.tlb_entries, cfg.tlb_assoc, name=f"tlb{core}")
+        # (core, vpn) -> callbacks waiting on the in-flight walk.
+        self._pending: dict[tuple[int, int], list[tuple[int, Callable[[int], None]]]] = {}
+
+    def tlb_for(self, core: int) -> Tlb:
+        """The TLB instance serving ``core`` (shared or private)."""
+        return self._tlbs[core]
+
+    def lookup_latency(self, core: int) -> int:
+        """TLB lookup latency in the core's local cycles."""
+        return self.cfg[core].tlb_latency_cycles
+
+    def translate(
+        self, core: int, vaddr: int, on_miss_done: Callable[[int], None]
+    ) -> int | None:
+        """Translate ``vaddr`` for ``core``.
+
+        Returns the physical address on a TLB hit (or when translation is
+        disabled).  Returns ``None`` on a miss; ``on_miss_done(paddr)``
+        fires when the walk completes.
+        """
+        cfg = self.cfg[core]
+        table = self.page_tables[core]
+        if not cfg.translation_enabled:
+            return table.paddr(vaddr)
+        stats = self.stats[core]
+        stats.lookups += 1
+        vpn, offset = divmod(vaddr, cfg.page_bytes)
+        if self._tlbs[core].lookup(core, vpn):
+            stats.hits += 1
+            if self.logger is not None:
+                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "hit")
+            return table.translate(vpn) * cfg.page_bytes + offset
+        key = (core, vpn)
+        waiters = self._pending.get(key)
+        if waiters is not None:
+            stats.coalesced += 1
+            if self.logger is not None:
+                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "coalesced")
+            waiters.append((offset, on_miss_done))
+            return None
+        self._pending[key] = [(offset, on_miss_done)]
+        stats.walks_started += 1
+        if self.logger is not None:
+            self.logger.log_tlb(self.walkers.engine.now, core, vpn, "miss")
+        self.walkers.walk(core, vpn, lambda: self._walk_done(core, vpn))
+        return None
+
+    def _walk_done(self, core: int, vpn: int) -> None:
+        cfg = self.cfg[core]
+        table = self.page_tables[core]
+        frame_base = table.translate(vpn) * cfg.page_bytes
+        self._tlbs[core].fill(core, vpn)
+        waiters = self._pending.pop((core, vpn))
+        for offset, callback in waiters:
+            callback(frame_base + offset)

@@ -1,0 +1,84 @@
+"""Set-associative TLB with LRU replacement.
+
+Entries are tagged ``(asid, vpn)`` — the address-space id is the core
+index, so a *shared* TLB (the paper's ``+DWT``) is simply one instance
+serving every core with the combined capacity: different cores' pages
+with the same set index then evict each other, producing exactly the
+inter-NPU conflict misses section 4.4.2 discusses (and why the paper
+keeps associativity at 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss counters of one TLB instance."""
+
+    lookups: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Lookups that missed."""
+        return self.lookups - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Tlb:
+    """A set-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int, assoc: int, name: str = "tlb") -> None:
+        if entries <= 0 or assoc <= 0 or entries % assoc:
+            raise ValueError("entries must be a positive multiple of associativity")
+        self.name = name
+        self.entries = entries
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        # Python dicts preserve insertion order: first key = least recent.
+        self._sets: list[dict[tuple[int, int], None]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self.stats = TlbStats()
+
+    def _set_for(self, vpn: int) -> dict[tuple[int, int], None]:
+        # Index by VPN only (not ASID) so shared-TLB co-runners contend
+        # for the same sets, as in a physically-indexed IOMMU TLB.
+        return self._sets[vpn % self.num_sets]
+
+    def lookup(self, asid: int, vpn: int) -> bool:
+        """True on hit; updates recency and counters."""
+        self.stats.lookups += 1
+        entry_set = self._set_for(vpn)
+        key = (asid, vpn)
+        if key in entry_set:
+            del entry_set[key]  # move-to-back = most recent
+            entry_set[key] = None
+            self.stats.hits += 1
+            return True
+        return False
+
+    def fill(self, asid: int, vpn: int) -> None:
+        """Insert a translation, evicting the set's LRU entry if full."""
+        entry_set = self._set_for(vpn)
+        key = (asid, vpn)
+        if key in entry_set:
+            del entry_set[key]
+        elif len(entry_set) >= self.assoc:
+            del entry_set[next(iter(entry_set))]
+        entry_set[key] = None
+
+    def occupancy(self) -> int:
+        """Valid entries currently resident."""
+        return sum(len(entry_set) for entry_set in self._sets)
+
+    def flush(self) -> None:
+        """Invalidate every entry (counters are preserved)."""
+        for entry_set in self._sets:
+            entry_set.clear()

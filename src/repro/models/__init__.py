@@ -1,0 +1,21 @@
+"""DNN workload models: layer specs, the paper's benchmark zoo, random nets."""
+
+from repro.models.layers import (
+    ConvLayer,
+    DenseLayer,
+    EmbeddingLayer,
+    GemmOp,
+    Network,
+)
+from repro.models import zoo
+from repro.models.random_net import random_network
+
+__all__ = [
+    "ConvLayer",
+    "DenseLayer",
+    "EmbeddingLayer",
+    "GemmOp",
+    "Network",
+    "zoo",
+    "random_network",
+]

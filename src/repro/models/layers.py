@@ -1,0 +1,218 @@
+"""Layer specifications and the im2col translation to GEMM.
+
+mNPUsim follows the convention of GEMM-centric systolic NPUs: every layer
+(convolution, fully-connected, recurrent cell, embedding reduction) is
+expressed as a general matrix-matrix multiplication via *im2col* (paper
+section 3.1).  The im2col rearrangement itself is assumed to happen early
+on the host CPU, exactly as the paper assumes, so the NPU sees only GEMM
+operands.
+
+A :class:`GemmOp` ``(M, K, N)`` multiplies an ``M x K`` operand A (weights)
+by a ``K x N`` operand B (activations / im2col matrix) into an ``M x N``
+output C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class GemmOp:
+    """One GEMM the systolic array executes: ``C[M,N] = A[M,K] @ B[K,N]``.
+
+    ``b_scatter`` marks the B operand as a *gathered* one (embedding
+    lookups): its rows live at scattered addresses across a table region
+    many times larger than the traffic itself, instead of packing
+    contiguously.  The request generator then emits one strided DRAM
+    transaction per row, which is what defeats TLB/page-walk-cache
+    locality for recommendation models.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    b_scatter: bool = False
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"GEMM dims must be positive, got {self}")
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations this GEMM performs."""
+        return self.m * self.k * self.n
+
+    def operand_bytes(self, element_bytes: int = 1) -> tuple[int, int, int]:
+        """Sizes of (A, B, C) in bytes."""
+        return (
+            self.m * self.k * element_bytes,
+            self.k * self.n * element_bytes,
+            self.m * self.n * element_bytes,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Total unique bytes touched at 1-byte elements (A + B + C)."""
+        return self.m * self.k + self.k * self.n + self.m * self.n
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per unique byte — compute- vs memory-bound indicator."""
+        return self.macs / self.total_bytes
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Output spatial size of a convolution dimension."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution reduces dimension {size} below 1 "
+            f"(kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A 2-D convolution layer, translated to GEMM by im2col.
+
+    im2col: ``A = weights [Cout x (Cin*Kh*Kw)]``, ``B = unfolded input
+    [(Cin*Kh*Kw) x (Hout*Wout)]``, so ``M = Cout``, ``K = Cin*Kh*Kw``,
+    ``N = Hout*Wout``.
+    """
+
+    name: str
+    in_channels: int
+    in_h: int
+    in_w: int
+    out_channels: int
+    kernel_h: int
+    kernel_w: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("in_channels", "in_h", "in_w", "out_channels", "kernel_h", "kernel_w", "stride"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+        if self.padding < 0:
+            raise ValueError("padding cannot be negative")
+        # Fail fast if the geometry is inconsistent.
+        self.out_hw
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        """Output feature-map height and width."""
+        return (
+            _conv_out(self.in_h, self.kernel_h, self.stride, self.padding),
+            _conv_out(self.in_w, self.kernel_w, self.stride, self.padding),
+        )
+
+    def to_gemm(self) -> GemmOp:
+        """The im2col GEMM equivalent of this convolution."""
+        out_h, out_w = self.out_hw
+        return GemmOp(
+            name=self.name,
+            m=self.out_channels,
+            k=self.in_channels * self.kernel_h * self.kernel_w,
+            n=out_h * out_w,
+        )
+
+
+@dataclass(frozen=True)
+class DenseLayer:
+    """A dense (fully-connected / recurrent-cell / attention) GEMM layer.
+
+    ``m`` = output features, ``k`` = input features, ``n`` = batch or
+    sequence positions.  RNN cells appear as dense layers with ``m`` being
+    the concatenated gate width (e.g. ``4*hidden`` for an LSTM).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError("dense layer dims must be positive")
+
+    def to_gemm(self) -> GemmOp:
+        """The layer already is a GEMM."""
+        return GemmOp(name=self.name, m=self.m, k=self.k, n=self.n)
+
+
+@dataclass(frozen=True)
+class EmbeddingLayer:
+    """A pooled embedding lookup (DLRM/NCF-style sparse feature reduction).
+
+    Each of ``batch`` samples gathers ``lookups`` distinct table rows of
+    width ``dim`` and sum-pools them.  Every gathered row is unique
+    traffic, so the GEMM equivalent is ``(1 x batch*lookups) @
+    (batch*lookups x dim)``: the B operand carries all gathered rows
+    (``batch*lookups*dim`` bytes of reuse-free traffic) and the reduction
+    performs one MAC per gathered element.  On a systolic array this
+    yields very low PE utilization (M=1 fills one row) and an arithmetic
+    intensity near 1 MAC/byte — exactly the memory-bound behaviour that
+    makes recommendation models contention-sensitive in the paper
+    (Figure 8).
+    """
+
+    name: str
+    lookups: int
+    dim: int
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.lookups, self.dim, self.batch) <= 0:
+            raise ValueError("embedding dims must be positive")
+
+    def to_gemm(self) -> GemmOp:
+        """The pooled-gather GEMM equivalent (see class docstring)."""
+        return GemmOp(
+            name=self.name,
+            m=1,
+            k=self.batch * self.lookups,
+            n=self.dim,
+            b_scatter=True,
+        )
+
+
+Layer = Union[ConvLayer, DenseLayer, EmbeddingLayer]
+
+
+@dataclass(frozen=True)
+class Network:
+    """A DNN topology: an ordered tuple of layers executed back-to-back."""
+
+    name: str
+    layers: tuple[Layer, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a network needs at least one layer")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names in {self.name}")
+
+    def gemms(self) -> tuple[GemmOp, ...]:
+        """All layers translated to GEMM operations, in execution order."""
+        return tuple(layer.to_gemm() for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """Total MACs of one inference."""
+        return sum(gemm.macs for gemm in self.gemms())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total unique operand bytes across layers (1-byte elements)."""
+        return sum(gemm.total_bytes for gemm in self.gemms())
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Whole-network MACs per byte."""
+        return self.total_macs / self.total_bytes

@@ -1,0 +1,145 @@
+"""Tests for the mnpusim-style command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def config_tree(tmp_path):
+    """An mNPUsim-style config-file tree for a dual-core run."""
+    arch = tmp_path / "arch.cfg"
+    arch.write_text(
+        "name = tpu\n"
+        "array_rows = 16\narray_cols = 16\n"
+        "spm_bytes = 65536\n"
+        "dram_transaction_bytes = 256\n"
+    )
+    npumem = tmp_path / "npumem.cfg"
+    npumem.write_text("tlb_entries = 32\ntlb_assoc = 8\nnum_ptw = 1\n")
+    dram = tmp_path / "dram.cfg"
+    dram.write_text(
+        "channels = 8\nchannel_bytes_per_cycle = 16\nqueue_depth = 128\n"
+        "timing.tcl = 14\nmapping = ch-co-ba-bg-ro\n"
+    )
+    misc = tmp_path / "misc.cfg"
+    misc.write_text("iterations = 0\n")
+    arch_list = tmp_path / "arch_list.txt"
+    arch_list.write_text(f"{arch}\n{arch}\n")
+    net_list = tmp_path / "net_list.txt"
+    net_list.write_text("ncf\nncf\n")
+    npumem_list = tmp_path / "npumem_list.txt"
+    npumem_list.write_text(f"{npumem}\n{npumem}\n")
+    return {
+        "arch_list": arch_list,
+        "net_list": net_list,
+        "dram": dram,
+        "npumem_list": npumem_list,
+        "misc": misc,
+        "out": tmp_path / "out",
+    }
+
+
+class TestRunCommand:
+    def test_artifact_style_run(self, config_tree, capsys):
+        code = main([
+            "run",
+            str(config_tree["arch_list"]),
+            str(config_tree["net_list"]),
+            str(config_tree["dram"]),
+            str(config_tree["npumem_list"]),
+            str(config_tree["out"]),
+            str(config_tree["misc"]),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "core0 ncf" in out and "core1 ncf" in out
+        result_dir = config_tree["out"] / "result"
+        # Artifact naming convention: avg_cycle_arch_<name><i>_<net><i>.txt
+        cycle_file = result_dir / "avg_cycle_arch_tpu0_ncf0.txt"
+        assert cycle_file.exists()
+        assert int(cycle_file.read_text()) > 0
+        assert (result_dir / "utilization_arch_tpu1_ncf1.txt").exists()
+        assert (result_dir / "memory_footprint_arch_tpu0_ncf0.txt").exists()
+        summary = json.loads((result_dir / "summary.json").read_text())
+        assert len(summary) == 2
+
+    def test_mismatched_lists_rejected(self, config_tree, tmp_path):
+        short = tmp_path / "short.txt"
+        short.write_text("ncf\n")
+        with pytest.raises(SystemExit):
+            main([
+                "run",
+                str(config_tree["arch_list"]),
+                str(short),
+                str(config_tree["dram"]),
+                str(config_tree["npumem_list"]),
+                str(config_tree["out"]),
+                str(config_tree["misc"]),
+            ])
+
+
+class TestMixCommand:
+    def test_mix_prints_per_core_lines(self, capsys):
+        code = main(["mix", "ncf", "ncf", "--sharing", "DWT"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("cycles") == 2
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["mix", "vgg16"])
+
+
+class TestModelsCommand:
+    def test_lists_all_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("res", "yt", "alex", "sfrnn", "ds2", "dlrm", "ncf", "gpt2"):
+            assert name in out
+
+
+class TestFigureCommand:
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figure", "fig99", "--cache-dir", str(tmp_path)])
+
+
+class TestTraceOption:
+    def test_run_with_trace_writes_logs(self, config_tree, capsys):
+        code = main([
+            "run",
+            str(config_tree["arch_list"]),
+            str(config_tree["net_list"]),
+            str(config_tree["dram"]),
+            str(config_tree["npumem_list"]),
+            str(config_tree["out"]),
+            str(config_tree["misc"]),
+            "--trace",
+        ])
+        assert code == 0
+        trace_dir = config_tree["out"] / "dramsim_output"
+        assert (trace_dir / "dram.log").exists()
+        assert (trace_dir / "dramreq.log").exists()
+        assert (trace_dir / "tlb0.log").exists()
+        assert (trace_dir / "tlb1_ptw.log").exists()
+        assert (trace_dir / "dram.log").stat().st_size > 0
+
+    def test_execution_cycle_files_written(self, config_tree, capsys):
+        main([
+            "run",
+            str(config_tree["arch_list"]),
+            str(config_tree["net_list"]),
+            str(config_tree["dram"]),
+            str(config_tree["npumem_list"]),
+            str(config_tree["out"]),
+            str(config_tree["misc"]),
+        ])
+        path = config_tree["out"] / "result" / "execution_cycle_arch_tpu0_ncf0.txt"
+        lines = path.read_text().splitlines()
+        assert len(lines) == 7  # one per ncf-mini layer
+        for line in lines:
+            name, cycles = line.split()
+            assert int(cycles) >= 0

@@ -1,0 +1,114 @@
+"""Tests for the DRAM and NPU energy models."""
+
+import pytest
+
+from repro.config.arch import ArchConfig
+from repro.config.dram import DramConfig
+from repro.config.misc import MiscConfig
+from repro.config.npumem import NpuMemConfig
+from repro.config.system import SystemConfig
+from repro.core.energy import (
+    NpuEnergy,
+    NpuEnergyParams,
+    energy_delay_product,
+    workload_energy,
+)
+from repro.core.simulator import MultiCoreNPUSim
+from repro.dram.energy import DramEnergyParams, EnergyBreakdown, dram_energy
+from repro.dram.stats import DramStats
+from repro.models.layers import DenseLayer, Network
+
+
+class TestDramEnergy:
+    def _stats(self, reads=10, writes=5, misses=3, refreshes=2):
+        stats = DramStats()
+        stats.reads = reads
+        stats.writes = writes
+        stats.row_misses = misses
+        stats.refreshes = refreshes
+        return stats
+
+    def test_components_add_up(self):
+        breakdown = dram_energy(self._stats(), DramConfig(), 1000, 64)
+        total = (
+            breakdown.activate_pj + breakdown.read_pj + breakdown.write_pj
+            + breakdown.refresh_pj + breakdown.background_pj
+        )
+        assert breakdown.total_pj == pytest.approx(total)
+        assert breakdown.dynamic_pj == pytest.approx(total - breakdown.background_pj)
+
+    def test_hand_computed_read_energy(self):
+        params = DramEnergyParams(read_pj_per_byte=2.0)
+        breakdown = dram_energy(self._stats(reads=4), DramConfig(), 0, 64, params)
+        assert breakdown.read_pj == pytest.approx(4 * 64 * 2.0)
+
+    def test_background_scales_with_time_and_channels(self):
+        short = dram_energy(self._stats(), DramConfig(channels=2), 100, 64)
+        long = dram_energy(self._stats(), DramConfig(channels=2), 200, 64)
+        wide = dram_energy(self._stats(), DramConfig(channels=4), 100, 64)
+        assert long.background_pj == pytest.approx(2 * short.background_pj)
+        assert wide.background_pj == pytest.approx(2 * short.background_pj)
+
+    def test_zero_activity_zero_dynamic(self):
+        breakdown = dram_energy(DramStats(), DramConfig(), 0, 64)
+        assert breakdown.dynamic_pj == 0
+        assert breakdown.total_pj == 0
+
+    def test_as_dict(self):
+        breakdown = dram_energy(self._stats(), DramConfig(), 10, 64)
+        payload = breakdown.as_dict()
+        assert payload["total_pj"] == pytest.approx(breakdown.total_pj)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dram_energy(DramStats(), DramConfig(), -1, 64)
+        with pytest.raises(ValueError):
+            DramEnergyParams(act_pre_pj=-1)
+
+
+class TestNpuEnergy:
+    def _run(self):
+        arch = ArchConfig(
+            name="t", array_rows=8, array_cols=8, spm_bytes=16 * 1024,
+            dram_transaction_bytes=64,
+        )
+        system = SystemConfig(
+            arch=(arch,),
+            npumem=(NpuMemConfig(tlb_entries=16, tlb_assoc=4, num_ptw=1),),
+            dram=DramConfig(channels=2, channel_bytes_per_cycle=16),
+            misc=MiscConfig(iterations=1),
+        )
+        net = Network("w", (DenseLayer("l0", 32, 64, 32),))
+        result = MultiCoreNPUSim(system, [net]).run(max_ticks=50_000_000)
+        return result.workloads[0], arch, net
+
+    def test_end_to_end_breakdown(self):
+        workload, arch, net = self._run()
+        energy = workload_energy(workload, arch, net.total_macs)
+        assert energy.compute_pj > 0
+        assert energy.spm_pj > 0
+        assert energy.translation_pj > 0
+        assert energy.leakage_pj > 0
+        assert energy.total_pj == pytest.approx(
+            energy.compute_pj + energy.spm_pj
+            + energy.translation_pj + energy.leakage_pj
+        )
+
+    def test_compute_energy_hand_computed(self):
+        workload, arch, net = self._run()
+        params = NpuEnergyParams(mac_pj=1.0, spm_pj_per_byte=0, tlb_lookup_pj=0,
+                                 walk_pj=0, leakage_pw_per_pe=0)
+        energy = workload_energy(workload, arch, net.total_macs, params)
+        assert energy.total_pj == pytest.approx(net.total_macs)
+
+    def test_edp(self):
+        npu = NpuEnergy(10, 10, 10, 10)
+        dram = EnergyBreakdown(1, 1, 1, 1, 1)
+        assert energy_delay_product(npu, dram, 100) == pytest.approx(4500)
+        with pytest.raises(ValueError):
+            energy_delay_product(npu, dram, 0)
+
+    def test_rejects_negative_macs(self):
+        workload, arch, _ = self._run()
+        with pytest.raises(ValueError):
+            workload_energy(workload, arch, -1)

@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, argv: list[str], capsys):
+    old_argv = sys.argv
+    sys.argv = [script] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", ["ncf"], capsys)
+        assert "execution cycles" in out
+        assert "PE utilization" in out
+        assert "page-table walks" in out
+
+    def test_quickstart_other_workload(self, capsys):
+        out = _run("quickstart.py", ["res"], capsys)
+        assert "workload: res" in out
+
+    def test_custom_accelerator(self, capsys):
+        out = _run("custom_accelerator.py", [], capsys)
+        assert "monolithic 64x64" in out
+        assert "dual 45x45" in out
+        assert "latency isolation" in out
+
+    @pytest.mark.slow
+    def test_page_size_tuning(self, capsys):
+        out = _run("page_size_tuning.py", ["ncf"], capsys)
+        assert "speedup over the baseline" in out
+        assert "64KB" in out

@@ -1,0 +1,124 @@
+"""Unit tests for performance/fairness metrics (Equation 1 etc.)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    box_stats,
+    cdf_points,
+    fairness,
+    geomean,
+    percentile,
+    slowdown,
+    speedup,
+)
+
+
+class TestSpeedupSlowdown:
+    def test_speedup_below_one_means_slower(self):
+        assert speedup(100, 200) == 0.5
+
+    def test_slowdown_is_inverse(self):
+        assert slowdown(100, 200) == 2.0
+        assert speedup(100, 200) * slowdown(100, 200) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(0, 10)
+        with pytest.raises(ValueError):
+            speedup(10, 0)
+
+
+class TestGeomean:
+    def test_matches_closed_form(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geomean([3.3]) == pytest.approx(3.3)
+
+    def test_below_arithmetic_mean(self):
+        values = [0.5, 1.5, 0.9]
+        assert geomean(values) <= sum(values) / 3
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestFairness:
+    def test_equal_slowdowns_are_perfectly_fair(self):
+        assert fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_single_workload_is_fair(self):
+        assert fairness([5.0]) == 1.0
+
+    def test_equation1_hand_computed(self):
+        # slowdowns 1 and 3: mu=2, sigma=1, fairness = 1 - 1/2.
+        assert fairness([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_more_imbalance_less_fairness(self):
+        assert fairness([1.0, 1.2]) > fairness([1.0, 2.0]) > fairness([1.0, 4.0])
+
+    def test_paper_range(self):
+        # Typical mix slowdowns produce fairness in the paper's 0.8-1 band.
+        value = fairness([1.25, 1.35, 1.30, 1.28])
+        assert 0.9 < value <= 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fairness([])
+        with pytest.raises(ValueError):
+            fairness([1.0, -1.0])
+
+
+class TestCdf:
+    def test_points_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_last_fraction_is_one(self):
+        assert cdf_points([5.0, 7.0])[-1][1] == 1.0
+
+
+class TestPercentile:
+    def test_median_of_odd(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolates(self):
+        assert percentile([0, 10], 0.25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [4, 8, 15, 16, 23, 42]
+        assert percentile(values, 0.0) == 4
+        assert percentile(values, 1.0) == 42
+
+    def test_single(self):
+        assert percentile([7], 0.9) == 7
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestBoxStats:
+    def test_fields(self):
+        box = box_stats([1, 2, 3, 4, 5])
+        assert box["min"] == 1
+        assert box["max"] == 5
+        assert box["median"] == 3
+        assert box["q1"] == 2
+        assert box["q3"] == 4
+
+    def test_ordering_invariant(self):
+        box = box_stats([0.31, 0.97, 0.55, 0.72, 0.44])
+        assert (
+            box["min"] <= box["q1"] <= box["median"] <= box["q3"] <= box["max"]
+        )

@@ -1,0 +1,172 @@
+"""Unit tests for layer specs, im2col translation, and the model zoo."""
+
+import pytest
+
+from repro.models import zoo
+from repro.models.layers import (
+    ConvLayer,
+    DenseLayer,
+    EmbeddingLayer,
+    GemmOp,
+    Network,
+)
+from repro.models.random_net import random_network
+
+
+class TestGemmOp:
+    def test_macs(self):
+        assert GemmOp("g", 2, 3, 4).macs == 24
+
+    def test_operand_bytes(self):
+        assert GemmOp("g", 2, 3, 4).operand_bytes(2) == (12, 24, 16)
+
+    def test_total_bytes(self):
+        gemm = GemmOp("g", 2, 3, 4)
+        assert gemm.total_bytes == 6 + 12 + 8
+
+    def test_arithmetic_intensity(self):
+        gemm = GemmOp("g", 10, 10, 10)
+        assert gemm.arithmetic_intensity == pytest.approx(1000 / 300)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GemmOp("g", 0, 1, 1)
+
+
+class TestConvLayer:
+    def test_im2col_dimensions(self):
+        conv = ConvLayer("c", in_channels=3, in_h=8, in_w=8,
+                         out_channels=16, kernel_h=3, kernel_w=3, padding=1)
+        gemm = conv.to_gemm()
+        assert gemm.m == 16
+        assert gemm.k == 3 * 3 * 3
+        assert gemm.n == 8 * 8  # same padding keeps spatial size
+
+    def test_stride_shrinks_output(self):
+        conv = ConvLayer("c", 3, 32, 32, 8, 3, 3, stride=2)
+        out_h, out_w = conv.out_hw
+        assert (out_h, out_w) == (15, 15)
+
+    def test_invalid_geometry_raises_at_construction(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", 3, 4, 4, 8, 7, 7)  # kernel larger than input
+
+    def test_alexnet_conv1_classic_dims(self):
+        conv = ConvLayer("c", 3, 227, 227, 96, 11, 11, stride=4)
+        gemm = conv.to_gemm()
+        assert gemm.n == 55 * 55
+        assert gemm.k == 363
+
+
+class TestEmbeddingLayer:
+    def test_gather_gemm_shape(self):
+        emb = EmbeddingLayer("e", lookups=4, dim=64, batch=8)
+        gemm = emb.to_gemm()
+        assert gemm.m == 1
+        assert gemm.k == 32
+        assert gemm.n == 64
+        assert gemm.b_scatter
+
+    def test_gather_traffic_counts_all_rows(self):
+        emb = EmbeddingLayer("e", lookups=10, dim=16, batch=4)
+        gemm = emb.to_gemm()
+        _, b_bytes, _ = gemm.operand_bytes(1)
+        assert b_bytes == 10 * 4 * 16
+
+    def test_low_intensity(self):
+        emb = EmbeddingLayer("e", lookups=64, dim=64, batch=64)
+        assert emb.to_gemm().arithmetic_intensity < 1.01
+
+
+class TestNetwork:
+    def test_rejects_duplicate_layer_names(self):
+        layer = DenseLayer("a", 2, 2, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            Network("n", (layer, layer))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Network("n", ())
+
+    def test_totals_sum_layers(self):
+        net = Network("n", (DenseLayer("a", 2, 3, 4), DenseLayer("b", 5, 6, 7)))
+        assert net.total_macs == 24 + 210
+        gemms = net.gemms()
+        assert len(gemms) == 2
+
+
+class TestZoo:
+    def test_all_eight_models_present(self):
+        assert len(zoo.NAMES) == 8
+        assert set(zoo.CATEGORIES) == set(zoo.NAMES)
+
+    @pytest.mark.parametrize("name", zoo.NAMES)
+    def test_mini_builds_and_is_nontrivial(self, name):
+        net = zoo.mini(name)
+        assert net.name == name
+        assert net.total_macs > 0
+        assert len(net.layers) >= 4
+
+    @pytest.mark.parametrize("name", zoo.NAMES)
+    def test_full_builds_and_dwarfs_mini(self, name):
+        full = zoo.full(name)
+        mini = zoo.mini(name)
+        assert full.total_macs > 4 * mini.total_macs
+
+    def test_resnet50_has_53_weight_layers(self):
+        # stem + 16 blocks x 3 convs + fc = 50 convs + fc.
+        net = zoo.full("res")
+        assert len(net.layers) == 1 + 16 * 3 + 1
+
+    def test_full_resnet50_mac_count_is_realistic(self):
+        # ~4 GMACs for 224x224 ResNet-50 (batch 1).
+        macs = zoo.full("res").total_macs
+        assert 2e9 < macs < 8e9
+
+    def test_categories_match_table1(self):
+        assert zoo.CATEGORIES["res"] == "CNN"
+        assert zoo.CATEGORIES["sfrnn"] == "RNN"
+        assert zoo.CATEGORIES["dlrm"] == "Recommendation"
+        assert zoo.CATEGORIES["gpt2"] == "Attention"
+
+    def test_recommendation_models_have_scattered_gathers(self):
+        for name in ("dlrm", "ncf"):
+            gemms = zoo.mini(name).gemms()
+            assert any(g.b_scatter for g in gemms)
+
+    def test_memory_vs_compute_intensity_ordering(self):
+        # The paper's contention-sensitivity story (Fig 8) rests on dlrm
+        # being much more memory-intensive than gpt2/ds2.
+        intensity = {n: zoo.mini(n).arithmetic_intensity for n in zoo.NAMES}
+        assert intensity["dlrm"] < intensity["gpt2"]
+        assert intensity["dlrm"] < intensity["ds2"]
+
+    def test_get_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            zoo.get("vgg", "mini")
+        with pytest.raises(ValueError):
+            zoo.get("res", "huge")
+
+
+class TestRandomNetwork:
+    def test_deterministic_per_seed(self):
+        a = random_network(7)
+        b = random_network(7)
+        assert a.gemms() == b.gemms()
+
+    def test_distinct_across_seeds(self):
+        assert random_network(1).gemms() != random_network(2).gemms()
+
+    def test_layer_count_bounds(self):
+        for seed in range(20):
+            net = random_network(seed, min_layers=3, max_layers=10)
+            assert 3 <= len(net.layers) <= 10
+
+    def test_all_layers_valid_gemms(self):
+        for seed in range(20):
+            for gemm in random_network(seed).gemms():
+                assert gemm.macs > 0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            random_network(1, min_layers=5, max_layers=3)

@@ -1,0 +1,95 @@
+"""Unit tests for sharing levels and the preset system builders."""
+
+import pytest
+
+from repro.config import presets
+from repro.core.sharing import CONTENDED_LEVELS, SWEEP_LEVELS, SharingLevel
+
+
+class TestSharingLevel:
+    def test_flags_match_paper_table(self):
+        assert not SharingLevel.STATIC.share_dram
+        assert not SharingLevel.STATIC.share_ptw
+        assert not SharingLevel.STATIC.share_tlb
+        assert SharingLevel.D.share_dram
+        assert not SharingLevel.D.share_ptw
+        assert SharingLevel.DW.share_dram and SharingLevel.DW.share_ptw
+        assert not SharingLevel.DW.share_tlb
+        assert SharingLevel.DWT.share_tlb
+
+    def test_sharing_is_cumulative(self):
+        # Each level shares a superset of the previous one's resources.
+        ordered = [SharingLevel.STATIC, SharingLevel.D, SharingLevel.DW, SharingLevel.DWT]
+        for prev, cur in zip(ordered, ordered[1:]):
+            for flag in ("share_dram", "share_ptw", "share_tlb"):
+                assert getattr(cur, flag) >= getattr(prev, flag)
+
+    def test_contended_levels(self):
+        assert not SharingLevel.IDEAL.is_contended
+        assert not SharingLevel.STATIC.is_contended
+        for level in CONTENDED_LEVELS:
+            assert level.is_contended
+
+    def test_labels(self):
+        assert SharingLevel.DW.label == "+DW"
+        assert [level.label for level in SWEEP_LEVELS] == [
+            "Static", "+D", "+DW", "+DWT",
+        ]
+
+
+class TestPresets:
+    def test_full_matches_table2(self):
+        arch = presets.cloud_arch("full")
+        assert (arch.array_rows, arch.array_cols) == (128, 128)
+        assert arch.spm_bytes == 36 * 1024 * 1024
+        npumem = presets.cloud_npumem("full")
+        assert npumem.tlb_entries == 2048
+        assert npumem.num_ptw == 8
+        dram = presets.hbm2_dram("full")
+        assert dram.peak_bandwidth_bytes_per_sec() == pytest.approx(128e9)
+
+    def test_mini_is_smaller_but_same_shape(self):
+        full = presets.cloud_arch("full")
+        mini = presets.cloud_arch("mini")
+        assert mini.array_rows < full.array_rows
+        assert mini.spm_bytes < full.spm_bytes
+        assert mini.array_rows == mini.array_cols
+
+    def test_cloud_npu_aggregates_per_core_resources(self):
+        system = presets.cloud_npu(2, SharingLevel.DWT)
+        per = presets.per_core_resources()
+        assert system.dram.channels == per["channels"] * 2
+        assert system.total_ptw == per["num_ptw"] * 2
+        assert system.num_cores == 2
+
+    def test_cloud_npu_rejects_multicore_ideal(self):
+        with pytest.raises(ValueError, match="solo_slice"):
+            presets.cloud_npu(2, SharingLevel.IDEAL)
+
+    def test_static_level_partitions_everything(self):
+        system = presets.cloud_npu(2, SharingLevel.STATIC)
+        assert not system.share_dram
+        assert not system.share_ptw
+        assert not system.share_tlb
+        a = set(system.channels_for_core(0))
+        b = set(system.channels_for_core(1))
+        assert not a & b
+
+    def test_solo_slice_shapes(self):
+        system = presets.solo_slice(channels=8, num_ptw=2, tlb_entries=128)
+        assert system.num_cores == 1
+        assert system.dram.channels == 8
+        assert system.npumem[0].num_ptw == 2
+        assert system.npumem[0].tlb_entries == 128
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            presets.cloud_arch("nano")
+
+    def test_page_bytes_propagates(self):
+        system = presets.cloud_npu(2, SharingLevel.DWT, page_bytes=65536)
+        assert all(cfg.page_bytes == 65536 for cfg in system.npumem)
+
+    def test_translation_toggle_propagates(self):
+        system = presets.solo_slice(translation_enabled=False)
+        assert not system.npumem[0].translation_enabled

@@ -1,0 +1,197 @@
+"""Integration tests of the end-to-end simulator.
+
+These use tiny custom networks (not the zoo) so they stay fast while
+exercising the full core -> DMA -> MMU -> DRAM pipeline.
+"""
+
+import pytest
+
+from repro.config.arch import ArchConfig
+from repro.config.dram import DramConfig
+from repro.config.misc import MiscConfig
+from repro.config.npumem import NpuMemConfig
+from repro.config.system import SystemConfig
+from repro.core.sharing import SharingLevel
+from repro.core.simulator import MultiCoreNPUSim
+from repro.models.layers import DenseLayer, Network
+
+ARCH = ArchConfig(
+    name="t", array_rows=8, array_cols=8, spm_bytes=16 * 1024,
+    dram_transaction_bytes=64,
+)
+NPUMEM = NpuMemConfig(tlb_entries=16, tlb_assoc=4, num_ptw=1, pwc_entries=8)
+
+
+def _net(name="w", m=64, k=128, n=64):
+    return Network(name, (DenseLayer(f"{name}_l0", m, k, n), DenseLayer(f"{name}_l1", m, m, n)))
+
+
+def _system(cores=1, channels=2, sharing=SharingLevel.DWT, iterations=1, **kwargs):
+    return SystemConfig(
+        arch=(ARCH,) * cores,
+        npumem=(NPUMEM,) * cores,
+        dram=DramConfig(channels=channels, channel_bytes_per_cycle=16),
+        misc=MiscConfig(iterations=iterations),
+        share_dram=sharing.share_dram,
+        share_ptw=sharing.share_ptw,
+        share_tlb=sharing.share_tlb,
+        **kwargs,
+    )
+
+
+class TestSingleCore:
+    def test_run_completes_and_reports(self):
+        sim = MultiCoreNPUSim(_system(), [_net()])
+        result = sim.run(max_ticks=10_000_000)
+        workload = result.workloads[0]
+        assert workload.cycles > 0
+        assert 0 < workload.pe_utilization <= 1
+        assert 0 < workload.compute_occupancy <= 1
+        assert workload.traffic_bytes > 0
+        assert workload.completed_iterations == 1
+
+    def test_deterministic(self):
+        a = MultiCoreNPUSim(_system(), [_net()]).run(max_ticks=10_000_000)
+        b = MultiCoreNPUSim(_system(), [_net()]).run(max_ticks=10_000_000)
+        assert a.cycles_per_core() == b.cycles_per_core()
+        assert a.dram.requests == b.dram.requests
+
+    def test_cycles_bounded_below_by_compute(self):
+        sim = MultiCoreNPUSim(_system(), [_net()])
+        result = sim.run(max_ticks=10_000_000)
+        compute = sim.cores[0].stats.compute_busy_local
+        assert result.workloads[0].cycles >= compute
+
+    def test_no_translation_is_faster(self):
+        slow = MultiCoreNPUSim(_system(), [_net()]).run(max_ticks=10_000_000)
+        fast_system = _system()
+        import dataclasses
+        fast_system = dataclasses.replace(
+            fast_system,
+            npumem=(dataclasses.replace(NPUMEM, translation_enabled=False),),
+        )
+        fast = MultiCoreNPUSim(fast_system, [_net()]).run(max_ticks=10_000_000)
+        assert fast.workloads[0].cycles <= slow.workloads[0].cycles
+        assert fast.workloads[0].walks == 0
+
+    def test_more_channels_never_slower(self):
+        narrow = MultiCoreNPUSim(_system(channels=1), [_net()]).run(max_ticks=10_000_000)
+        wide = MultiCoreNPUSim(_system(channels=4), [_net()]).run(max_ticks=10_000_000)
+        assert wide.workloads[0].cycles <= narrow.workloads[0].cycles
+
+    def test_iterations_counted(self):
+        sim = MultiCoreNPUSim(_system(iterations=3), [_net()])
+        result = sim.run(max_ticks=50_000_000)
+        assert result.workloads[0].completed_iterations == 3
+
+    def test_bandwidth_trace_collected(self):
+        sim = MultiCoreNPUSim(_system(), [_net()], trace_bandwidth=True)
+        result = sim.run(max_ticks=10_000_000)
+        assert 0 in result.bandwidth_utilization
+        series = result.bandwidth_utilization[0]
+        assert any(value > 0 for _, value in series)
+        assert all(value <= 1.0 + 1e-9 for _, value in series)
+
+    def test_run_twice_rejected(self):
+        sim = MultiCoreNPUSim(_system(), [_net()])
+        sim.run(max_ticks=10_000_000)
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_workload_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCoreNPUSim(_system(cores=2, channels=2), [_net()])
+
+    def test_unfinished_run_raises(self):
+        sim = MultiCoreNPUSim(_system(), [_net()])
+        with pytest.raises(RuntimeError, match="never completed"):
+            sim.run(max_ticks=10)
+
+
+class TestMultiCore:
+    def test_dual_core_contention_slows_workloads(self):
+        alone = MultiCoreNPUSim(_system(channels=2), [_net()]).run(max_ticks=10_000_000)
+        # Same per-core resources, but a co-runner contends on them.
+        duo = MultiCoreNPUSim(
+            _system(cores=2, channels=2), [_net("a"), _net("b")]
+        ).run(max_ticks=50_000_000)
+        for workload in duo.workloads:
+            assert workload.cycles >= alone.workloads[0].cycles
+
+    def test_static_partition_isolates_cores(self):
+        # With all resources statically split, a co-runner must not
+        # change a workload's cycles vs running alone on the same slice.
+        # (Channel refresh phases are staggered per channel index, so a
+        # sub-percent deviation between channel 0 and 1 is expected; the
+        # experiment harness exploits this equivalence — see DESIGN.md.)
+        solo = MultiCoreNPUSim(_system(channels=1), [_net()]).run(max_ticks=50_000_000)
+        static = MultiCoreNPUSim(
+            _system(cores=2, channels=2, sharing=SharingLevel.STATIC),
+            [_net("a"), _net("b")],
+        ).run(max_ticks=50_000_000)
+        assert static.workloads[0].cycles == solo.workloads[0].cycles
+        assert static.workloads[1].cycles == pytest.approx(
+            solo.workloads[0].cycles, rel=0.02
+        )
+
+    def test_mix_methodology_loops_fast_corunner(self):
+        light = _net("light", m=16, k=16, n=16)
+        heavy = _net("heavy", m=128, k=256, n=128)
+        duo = MultiCoreNPUSim(
+            _system(cores=2, channels=2, iterations=0), [light, heavy]
+        ).run(max_ticks=100_000_000)
+        light_result, heavy_result = duo.workloads
+        assert light_result.completed_iterations > 1
+        assert heavy_result.completed_iterations == 1
+
+    def test_shared_tlb_is_one_instance(self):
+        sim = MultiCoreNPUSim(
+            _system(cores=2, channels=2, sharing=SharingLevel.DWT),
+            [_net("a"), _net("b")],
+        )
+        assert sim.mmu.tlb_for(0) is sim.mmu.tlb_for(1)
+
+    def test_dw_keeps_private_tlbs(self):
+        sim = MultiCoreNPUSim(
+            _system(cores=2, channels=2, sharing=SharingLevel.DW),
+            [_net("a"), _net("b")],
+        )
+        assert sim.mmu.tlb_for(0) is not sim.mmu.tlb_for(1)
+
+    def test_heterogeneous_clocks(self):
+        import dataclasses
+        slow_arch = dataclasses.replace(ARCH, freq_mhz=500)
+        system = SystemConfig(
+            arch=(ARCH, slow_arch),
+            npumem=(NPUMEM, NPUMEM),
+            dram=DramConfig(channels=2, channel_bytes_per_cycle=16),
+            misc=MiscConfig(iterations=1),
+        )
+        result = MultiCoreNPUSim(system, [_net("a"), _net("a2")]).run(
+            max_ticks=100_000_000
+        )
+        fast, slow = result.workloads
+        # The slower core reports fewer local cycles per global tick.
+        assert slow.cycles <= slow.ticks
+        assert fast.cycles == fast.ticks
+
+    def test_ptw_static_split_respected(self):
+        system = _system(cores=2, channels=2, sharing=SharingLevel.D)
+        import dataclasses
+        npumem = tuple(
+            dataclasses.replace(NPUMEM, num_ptw=2) for _ in range(2)
+        )
+        system = dataclasses.replace(
+            system, npumem=npumem, share_ptw=False, ptw_assignment=(1, 3)
+        )
+        sim = MultiCoreNPUSim(system, [_net("a"), _net("b")])
+        assert sim.walkers.max_per_core == {0: 1, 1: 3}
+        sim.run(max_ticks=100_000_000)
+
+    def test_walk_traffic_attributed_to_cores(self):
+        sim = MultiCoreNPUSim(
+            _system(cores=2, channels=2), [_net("a"), _net("b")]
+        )
+        sim.run(max_ticks=100_000_000)
+        for core in (0, 1):
+            assert sim.walkers.stats[core].walks > 0

@@ -1,0 +1,103 @@
+"""Tests for the artifact-style request-log tracing."""
+
+from repro.config.arch import ArchConfig
+from repro.config.dram import DramConfig
+from repro.config.misc import MiscConfig
+from repro.config.npumem import NpuMemConfig
+from repro.config.system import SystemConfig
+from repro.core.simulator import MultiCoreNPUSim
+from repro.core.tracing import TraceLogger
+from repro.models.layers import DenseLayer, Network
+
+
+def _system(cores=1):
+    arch = ArchConfig(
+        name="t", array_rows=8, array_cols=8, spm_bytes=16 * 1024,
+        dram_transaction_bytes=64,
+    )
+    npumem = NpuMemConfig(tlb_entries=16, tlb_assoc=4, num_ptw=1, pwc_entries=8)
+    return SystemConfig(
+        arch=(arch,) * cores,
+        npumem=(npumem,) * cores,
+        dram=DramConfig(channels=2, channel_bytes_per_cycle=16),
+        misc=MiscConfig(iterations=1),
+    )
+
+
+def _net(name="w"):
+    return Network(name, (DenseLayer(f"{name}_l0", 32, 64, 32),))
+
+
+def _traced_run(cores=1):
+    sim = MultiCoreNPUSim(
+        _system(cores), [_net(f"w{i}") for i in range(cores)], trace_requests=True
+    )
+    result = sim.run(max_ticks=50_000_000)
+    assert sim.tracer is not None
+    return sim, result
+
+
+class TestTraceLogger:
+    def test_dram_log_matches_controller_stats(self):
+        sim, _ = _traced_run()
+        assert len(sim.tracer.dram) == sim.dram.stats.requests
+        assert all(e.end_tick >= e.start_tick for e in sim.tracer.dram)
+
+    def test_tlb_log_matches_mmu_stats(self):
+        sim, _ = _traced_run()
+        stats = sim.mmu.stats[0]
+        outcomes = [e.outcome for e in sim.tracer.tlb]
+        assert outcomes.count("hit") == stats.hits
+        assert outcomes.count("miss") == stats.walks_started
+        assert outcomes.count("coalesced") == stats.coalesced
+
+    def test_ptw_log_matches_walk_stats(self):
+        sim, _ = _traced_run()
+        assert len(sim.tracer.ptw) == sim.walkers.stats[0].walks
+        for entry in sim.tracer.ptw:
+            assert entry.enqueue_tick <= entry.start_tick <= entry.end_tick
+            assert entry.dram_reads >= 1
+
+    def test_walk_dram_reads_flagged(self):
+        sim, _ = _traced_run()
+        walk_reads = [e for e in sim.tracer.dram if e.is_walk]
+        assert walk_reads
+        assert all(not e.write for e in walk_reads)
+        logged_levels = sum(e.dram_reads for e in sim.tracer.ptw)
+        assert len(walk_reads) == logged_levels
+
+    def test_dram_bytes_by_core(self):
+        sim, result = _traced_run()
+        by_core = sim.tracer.dram_bytes_by_core(64)
+        assert by_core[0] == sim.dram.stats.bytes_per_core[0]
+
+    def test_walk_latencies(self):
+        sim, _ = _traced_run()
+        latencies = sim.tracer.walk_latencies(0)
+        assert len(latencies) == len(sim.tracer.ptw)
+        assert all(value > 0 for value in latencies)
+
+    def test_write_files_layout(self, tmp_path):
+        sim, _ = _traced_run(cores=2)
+        written = sim.tracer.write_files(tmp_path / "dramsim_output")
+        names = {path.name for path in written}
+        assert {"dram.log", "dramreq.log", "tlb0.log", "tlb0_ptw.log",
+                "tlb1.log", "tlb1_ptw.log"} <= names
+        dram_lines = (tmp_path / "dramsim_output" / "dram.log").read_text().splitlines()
+        assert len(dram_lines) == len(sim.tracer.dram)
+        # dramreq.log is completion-ordered.
+        ends = [
+            int(line.split()[0])
+            for line in (tmp_path / "dramsim_output" / "dramreq.log").read_text().splitlines()
+        ]
+        assert ends == sorted(ends)
+
+    def test_untraced_run_has_no_logger(self):
+        sim = MultiCoreNPUSim(_system(), [_net()])
+        assert sim.tracer is None
+        sim.run(max_ticks=50_000_000)
+
+    def test_logger_standalone_write_empty(self, tmp_path):
+        logger = TraceLogger()
+        written = logger.write_files(tmp_path)
+        assert len(written) == 2  # dram.log + dramreq.log, no cores

@@ -1,0 +1,152 @@
+"""Tests for the misc-config walker bounds and round-robin arbitration."""
+
+from repro.core.engine import Engine
+from repro.mmu.pagetable import PageTable, PhysicalLayout
+from repro.mmu.ptw import WalkerPool
+
+LAYOUT = PhysicalLayout(capacity_bytes=1 << 30, num_cores=4)
+
+
+def _pool(engine, capacity, cores, level_ticks=10, **kwargs):
+    tables = {core: PageTable(core, 4096, 4, LAYOUT) for core in cores}
+    return WalkerPool(
+        engine, capacity, tables, dram=None,
+        fixed_level_ticks={core: level_ticks for core in cores},
+        pwc_entries={core: 0 for core in cores},
+        **kwargs,
+    )
+
+
+class TestUpperBound:
+    def test_cap_limits_concurrency(self):
+        # Capacity 4, but core 0 capped at 2 (misc ptw_upper_bound).
+        engine = Engine()
+        pool = _pool(
+            engine, 4, (0, 1),
+            max_per_core={0: 2, 1: 4}, reserved_per_core={0: 0, 1: 0},
+        )
+        done = []
+        for vpn in range(4):
+            pool.walk(0, vpn, lambda: done.append(engine.now))
+        engine.run()
+        # Two batches of two: 40 then 80, never four at once.
+        assert done == [40, 40, 80, 80]
+
+    def test_uncapped_uses_whole_pool(self):
+        engine = Engine()
+        pool = _pool(engine, 4, (0, 1))
+        done = []
+        for vpn in range(4):
+            pool.walk(0, vpn, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [40, 40, 40, 40]
+
+
+class TestRoundRobin:
+    def test_contended_grants_alternate_between_cores(self):
+        engine = Engine()
+        pool = _pool(engine, 1, (0, 1))
+        order = []
+        # Enqueue interleaved backlogs for both cores at t=0.
+        for vpn in range(3):
+            pool.walk(0, vpn, lambda v=vpn: order.append(("c0", v)))
+            pool.walk(1, vpn, lambda v=vpn: order.append(("c1", v)))
+        engine.run()
+        cores = [core for core, _ in order]
+        # Strict alternation with a single walker and equal backlogs.
+        assert cores == ["c0", "c1", "c0", "c1", "c0", "c1"]
+
+    def test_heavy_core_cannot_starve_light_core(self):
+        engine = Engine()
+        pool = _pool(engine, 2, (0, 1))
+        light_done = []
+        for vpn in range(20):
+            pool.walk(0, vpn, lambda: None)
+        pool.walk(1, 0, lambda: light_done.append(engine.now))
+        engine.run()
+        # The light core's single walk is granted within the first rounds,
+        # not after the heavy core's 20-walk backlog.
+        assert light_done[0] <= 80
+
+    def test_fcfs_within_core(self):
+        engine = Engine()
+        pool = _pool(engine, 1, (0,))
+        order = []
+        for vpn in (5, 6, 7):
+            pool.walk(0, vpn, lambda v=vpn: order.append(v))
+        engine.run()
+        assert order == [5, 6, 7]
+
+
+class TestQueueAccounting:
+    def test_queued_counts_all_cores(self):
+        engine = Engine()
+        pool = _pool(engine, 1, (0, 1))
+        pool.walk(0, 1, lambda: None)
+        pool.walk(0, 2, lambda: None)
+        pool.walk(1, 3, lambda: None)
+        assert pool.queued == 2  # one granted, two waiting
+        engine.run()
+        assert pool.queued == 0
+
+
+class TestDwsBounds:
+    def test_equal_homes_reserve_half(self):
+        from repro.mmu.ptw import dws_bounds
+        max_per_core, reserved = dws_bounds({0: 4, 1: 4})
+        assert reserved == {0: 2, 1: 2}
+        # Each core may steal the co-runner's 2 unreserved walkers.
+        assert max_per_core == {0: 6, 1: 6}
+
+    def test_reserve_at_least_one(self):
+        from repro.mmu.ptw import dws_bounds
+        _, reserved = dws_bounds({0: 1, 1: 1}, reserve_fraction=0.1)
+        assert reserved == {0: 1, 1: 1}
+
+    def test_full_reserve_degenerates_to_static(self):
+        from repro.mmu.ptw import dws_bounds
+        max_per_core, reserved = dws_bounds({0: 3, 1: 5}, reserve_fraction=1.0)
+        assert max_per_core == {0: 3, 1: 5}
+        assert reserved == {0: 3, 1: 5}
+
+    def test_bounds_feed_the_pool(self):
+        from repro.mmu.ptw import dws_bounds
+        engine = Engine()
+        max_per_core, reserved = dws_bounds({0: 2, 1: 2})
+        pool = _pool(
+            engine, 4, (0, 1),
+            max_per_core=max_per_core, reserved_per_core=reserved,
+        )
+        done = []
+        # Core 0 may hold at most 3 walkers (2 home + 1 stolen).
+        for vpn in range(4):
+            pool.walk(0, vpn, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [40, 40, 40, 80]
+
+    def test_reclaim_is_always_possible(self):
+        from repro.mmu.ptw import dws_bounds
+        engine = Engine()
+        max_per_core, reserved = dws_bounds({0: 2, 1: 2})
+        pool = _pool(
+            engine, 4, (0, 1),
+            max_per_core=max_per_core, reserved_per_core=reserved,
+        )
+        order = []
+        # Core 0 floods; core 1 arrives later and must get its reserved
+        # walker on the first recycle, not after core 0's backlog.
+        for vpn in range(8):
+            pool.walk(0, vpn, lambda: None)
+        pool.walk(1, 0, lambda: order.append(engine.now))
+        engine.run()
+        assert order[0] <= 80
+
+    def test_validation(self):
+        from repro.mmu.ptw import dws_bounds
+        import pytest
+        with pytest.raises(ValueError):
+            dws_bounds({})
+        with pytest.raises(ValueError):
+            dws_bounds({0: 2}, reserve_fraction=1.5)
+        with pytest.raises(ValueError):
+            dws_bounds({0: 0})

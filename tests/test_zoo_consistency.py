@@ -1,0 +1,84 @@
+"""Deeper consistency checks on the benchmark topologies."""
+
+import pytest
+
+from repro.models import zoo
+from repro.models.layers import ConvLayer
+
+
+def _conv_chain_consistent(network):
+    """Consecutive conv layers must chain channels (where adjacent)."""
+    previous = None
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            if previous is not None and isinstance(previous, ConvLayer):
+                assert layer.in_channels == previous.out_channels, (
+                    f"{network.name}: {previous.name} -> {layer.name}"
+                )
+            previous = layer
+        else:
+            previous = None
+
+
+class TestTopologyConsistency:
+    @pytest.mark.parametrize("scale", ["full", "mini"])
+    def test_yolo_tiny_channel_chain(self, scale):
+        _conv_chain_consistent(zoo.get("yt", scale))
+
+    @pytest.mark.parametrize("scale", ["full", "mini"])
+    def test_resnet_block_structure(self, scale):
+        network = zoo.get("res", scale)
+        convs = [l for l in network.layers if isinstance(l, ConvLayer)]
+        # stem + 48 block convs: 1x1 / 3x3 / 1x1 repeating.
+        kernels = [(c.kernel_h, c.kernel_w) for c in convs[1:]]
+        for index in range(0, len(kernels), 3):
+            assert kernels[index] == (1, 1)
+            assert kernels[index + 1] == (3, 3)
+            assert kernels[index + 2] == (1, 1)
+
+    def test_gpt2_full_block_count(self):
+        network = zoo.full("gpt2")
+        # 12 blocks x 6 GEMMs.
+        assert len(network.layers) == 72
+
+    def test_gpt2_attention_dims_follow_sequence(self):
+        network = zoo.full("gpt2")
+        score = next(l for l in network.layers if l.name == "b0_score")
+        assert score.m == score.n == 1024  # seq x seq attention matrix
+
+    def test_alexnet_full_k_dims(self):
+        network = zoo.full("alex")
+        gemms = network.gemms()
+        assert gemms[0].k == 3 * 11 * 11
+        assert gemms[5].k == 9216  # fc6's flattened input
+
+    def test_deepspeech_gru_width(self):
+        network = zoo.full("ds2")
+        gru = next(l for l in network.layers if l.name == "gru1")
+        assert gru.m == 3 * 800  # three GRU gates
+        assert gru.k == 2 * 800  # hidden + input concatenation
+
+    def test_sfrnn_lstm_gates(self):
+        network = zoo.full("sfrnn")
+        lstm = next(l for l in network.layers if l.name == "lstm1")
+        assert lstm.m == 4 * 1500  # four LSTM gates
+
+    def test_dlrm_embedding_tables_cover_26(self):
+        network = zoo.full("dlrm")
+        from repro.models.layers import EmbeddingLayer
+        groups = [l for l in network.layers if isinstance(l, EmbeddingLayer)]
+        assert sum(g.lookups for g in groups) == 24  # 26 tables in 4 groups of 6
+        assert len(groups) == 4
+
+    @pytest.mark.parametrize("name", zoo.NAMES)
+    def test_mini_keeps_layer_type_mix(self, name):
+        full_types = {type(l).__name__ for l in zoo.full(name).layers}
+        mini_types = {type(l).__name__ for l in zoo.mini(name).layers}
+        assert mini_types == full_types
+
+    @pytest.mark.parametrize("name", zoo.NAMES)
+    def test_networks_are_frozen_values(self, name):
+        a = zoo.mini(name)
+        b = zoo.mini(name)
+        assert a == b
+        assert hash(a.layers) == hash(b.layers)
