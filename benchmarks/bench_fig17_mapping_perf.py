@@ -5,7 +5,7 @@ import os
 import pytest
 from conftest import emit, run_once
 
-from repro.experiments.mixes import all_mixes, subset_mixes
+from repro.experiments.mixes import subset_mixes
 from repro.experiments.report import cdf_summary, format_table
 from repro.mapping import MappingStudy, fig17_mapping_performance
 

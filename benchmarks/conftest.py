@@ -9,19 +9,23 @@ factor — documented in EXPERIMENTS.md.
 Environment knobs:
 
 * ``REPRO_QUAD_MIXES``  — quad-core mixes to simulate (default 60 of the
-  330; set to 330 for the paper's full sweep — hours of CPU time).
+  330; set to 330 for the paper's full sweep — hours of CPU time on one
+  core).
 * ``REPRO_DUAL_MIXES``  — dual-core mixes (default: all 36).
 * ``REPRO_CACHE_DIR``   — result cache location (default ./.repro_cache).
+* ``REPRO_JOBS``        — worker processes for cold simulations (default
+  1).  The figure reducers plan their whole spec set up front and execute
+  it through one ``run_many`` batch, so a cold-cache regeneration scales
+  with the cores you give it.
 """
 
 from __future__ import annotations
 
 import os
-import sys
 
 import pytest
 
-from repro.experiments.mixes import all_mixes, subset_mixes
+from repro.experiments.mixes import subset_mixes
 from repro.experiments.runner import ExperimentRunner
 
 
@@ -52,7 +56,8 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
 def runner() -> ExperimentRunner:
     """One cached experiment runner shared by every benchmark."""
     cache_dir = os.environ.get("REPRO_CACHE_DIR")
-    return ExperimentRunner(cache_dir=cache_dir)
+    jobs = int(os.environ.get("REPRO_JOBS", "1"))
+    return ExperimentRunner(cache_dir=cache_dir, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

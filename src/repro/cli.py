@@ -6,10 +6,16 @@ The original simulator runs as::
               <result_path> <misc_config>
 
 This CLI keeps that shape (``mnpusim run``) while adding conveniences the
-artifact documents separately: listing the bundled benchmark zoo, and a
-quick mix runner over named workloads and sharing levels.  Result files
-follow the artifact's layout: ``<result_path>/result/avg_cycle_*.txt``,
+artifact documents separately: listing the bundled benchmark zoo, a quick
+mix runner over named workloads and sharing levels, per-figure
+regeneration (``mnpusim figure``, optionally parallel with ``--jobs``)
+and batched multi-figure sweeps (``mnpusim sweep``).  Result files follow
+the artifact's layout: ``<result_path>/result/avg_cycle_*.txt``,
 ``memory_footprint_*``, ``utilization_*`` plus a JSON summary.
+
+The ``mix`` path builds its system through the same :class:`RunSpec` the
+experiment runner uses, so CLI mix results and cached experiment results
+agree for identical parameters.
 """
 
 from __future__ import annotations
@@ -29,7 +35,8 @@ from repro.config import (
 from repro.config.system import SystemConfig
 from repro.core.sharing import SharingLevel
 from repro.core.simulator import MixResult, MultiCoreNPUSim
-from repro.config import presets
+from repro.experiments.runner import DEFAULT_MAX_TICKS
+from repro.experiments.spec import RunSpec
 from repro.models import zoo
 
 
@@ -97,7 +104,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
     networks = [zoo.get(name, args.scale) for name in network_names]
     sim = MultiCoreNPUSim(system, networks, trace_requests=args.trace)
-    result = sim.run()
+    result = _run_sim(sim, args.max_ticks)
     out_dir = Path(args.result_path)
     _write_results(result, system, out_dir, networks)
     if args.trace and sim.tracer is not None:
@@ -110,15 +117,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_sim(sim: MultiCoreNPUSim, max_ticks: int) -> MixResult:
+    """Run a simulation under the CLI's tick safety valve."""
+    try:
+        return sim.run(max_ticks=max_ticks)
+    except RuntimeError as error:
+        raise SystemExit(f"simulation aborted: {error}") from error
+
+
 def _cmd_mix(args: argparse.Namespace) -> int:
     names = args.workloads
     sharing = SharingLevel[args.sharing.upper().lstrip("+")] if args.sharing else SharingLevel.DWT
-    system = presets.cloud_npu(
-        len(names), sharing, scale=args.scale, page_bytes=args.page_bytes
-    )
+    # The same frozen descriptor the experiment runner plans from, so CLI
+    # mixes and cached figure sweeps simulate the identical system
+    # (iterations=1, staggered launch — see presets.mix_system).
+    try:
+        spec = RunSpec.mix(
+            names, sharing, scale=args.scale, page_bytes=args.page_bytes
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    system = spec.system()
     networks = [zoo.get(name, args.scale) for name in names]
     sim = MultiCoreNPUSim(system, networks)
-    result = sim.run()
+    result = _run_sim(sim, args.max_ticks)
     for workload in result.workloads:
         print(
             f"core{workload.core} {workload.workload}: {workload.cycles} cycles, "
@@ -130,17 +152,35 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
-    """Regenerate one paper figure through the cached experiment runner."""
-    from repro.experiments import figures
-    from repro.experiments.mixes import subset_mixes
-    from repro.experiments.report import format_mapping
-    from repro.experiments.runner import ExperimentRunner
+def _print_progress(event) -> None:
+    """Default sweep progress reporter: one line per completion on stderr."""
+    label = event.spec.label if event.spec is not None else "cache"
+    eta = (
+        f", eta {event.eta_seconds:.0f}s"
+        if event.eta_seconds is not None
+        else ""
+    )
+    print(
+        f"[{event.completed}/{event.total}] {label} "
+        f"({event.cache_hits} cached, {event.elapsed_seconds:.1f}s{eta})",
+        file=sys.stderr,
+    )
 
-    runner = ExperimentRunner(scale=args.scale, cache_dir=args.cache_dir)
-    dual = subset_mixes(2, args.mixes) if args.mixes else None
-    quad = subset_mixes(4, args.mixes) if args.mixes else subset_mixes(4, 60)
-    producers = {
+
+def _figure_mixes(args: argparse.Namespace):
+    """The (dual, quad) mix lists a figure/sweep invocation asked for."""
+    from repro.experiments.mixes import mixes_for
+
+    dual = mixes_for(2, args.mixes)
+    quad = mixes_for(4, args.mixes if args.mixes else 60)
+    return dual, quad
+
+
+def _figure_producers(runner, dual, quad):
+    """``figure name -> callable`` printing-ready headline reductions."""
+    from repro.experiments import figures
+
+    return {
         "fig4": lambda: figures.fig4_dual_performance(runner, dual)["overall"],
         "fig5": lambda: figures.fig5_quad_performance(runner, quad)["overall"],
         "fig6": lambda: figures.fig6_dual_fairness(runner, dual)["overall"],
@@ -156,10 +196,61 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig14": lambda: figures.fig14_ptw_partition_fairness(runner, dual)["overall"],
         "fig15": lambda: figures.fig15_pagesize_single(runner)["overall"],
     }
+
+
+def _make_runner(args: argparse.Namespace):
+    from repro.experiments.runner import ExperimentRunner
+
+    return ExperimentRunner(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        progress=_print_progress if args.jobs > 1 else None,
+    )
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one paper figure through the cached experiment runner."""
+    from repro.experiments.report import format_mapping
+
+    runner = _make_runner(args)
+    dual, quad = _figure_mixes(args)
+    producers = _figure_producers(runner, dual, quad)
     if args.name not in producers:
         raise SystemExit(f"unknown figure {args.name!r}; pick one of {sorted(producers)}")
     data = {key: round(value, 4) for key, value in producers[args.name]().items()}
     print(format_mapping(f"{args.name} (scale={args.scale})", data))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Regenerate several figures from one deduplicated parallel batch.
+
+    All named figures' spec sets are planned first and executed in a
+    single :meth:`ExperimentRunner.run_many` call, so overlapping specs
+    (the Ideal/Static solos every sharing figure needs, the shared
+    fig4/fig6 and fig9/fig10 sweeps) simulate exactly once.
+    """
+    from repro.experiments import figures
+    from repro.experiments.report import format_mapping
+
+    runner = _make_runner(args)
+    dual, quad = _figure_mixes(args)
+    producers = _figure_producers(runner, dual, quad)
+    unknown = [name for name in args.names if name not in producers]
+    if unknown:
+        raise SystemExit(
+            f"unknown figures {unknown}; pick from {sorted(producers)}"
+        )
+    specs = [
+        spec
+        for name in args.names
+        for spec in figures.FIGURE_PLANNERS[name](runner, dual, quad)
+    ]
+    runner.run_many(specs, progress=_print_progress)
+    for name in args.names:
+        data = {key: round(value, 4) for key, value in producers[name]().items()}
+        print(format_mapping(f"{name} (scale={args.scale})", data))
     return 0
 
 
@@ -172,6 +263,18 @@ def _cmd_models(args: argparse.Namespace) -> int:
             f"{network.total_macs:14d} {network.total_bytes:12d}"
         )
     return 0
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``figure`` and ``sweep`` subcommands."""
+    parser.add_argument("--mixes", type=int, default=None,
+                        help="limit the workload-mix count (default: full dual, 60 quad)")
+    parser.add_argument("--scale", default="mini", choices=("mini", "full"))
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for cold simulations (1 = in-process serial)",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -196,14 +299,22 @@ def main(argv: list[str] | None = None) -> int:
         "--trace", action="store_true",
         help="write dram/tlb/ptw request logs (the artifact's DRAMREQ_NPU_TRACE)",
     )
+    run.add_argument(
+        "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
+        help="abort a run exceeding this many global ticks (safety valve)",
+    )
     run.set_defaults(func=_cmd_run)
 
     mix = sub.add_parser("mix", help="co-run named benchmarks under a sharing level")
     mix.add_argument("workloads", nargs="+", choices=zoo.NAMES, metavar="workload")
-    mix.add_argument("--sharing", default="DWT", help="Static, D, DW or DWT")
+    mix.add_argument("--sharing", default="DWT", help="D, DW or DWT")
     mix.add_argument("--scale", default="mini", choices=("mini", "full"))
     mix.add_argument("--page-bytes", type=int, default=4096)
     mix.add_argument("--result-path", default=None)
+    mix.add_argument(
+        "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
+        help="abort a run exceeding this many global ticks (safety valve)",
+    )
     mix.set_defaults(func=_cmd_mix)
 
     models = sub.add_parser("models", help="list the bundled benchmark zoo")
@@ -214,11 +325,17 @@ def main(argv: list[str] | None = None) -> int:
         "figure", help="regenerate one paper figure's headline numbers"
     )
     figure.add_argument("name", help="fig4, fig5, ..., fig15")
-    figure.add_argument("--mixes", type=int, default=None,
-                        help="limit the workload-mix count (default: full dual, 60 quad)")
-    figure.add_argument("--scale", default="mini", choices=("mini", "full"))
-    figure.add_argument("--cache-dir", default=None)
+    _add_sweep_options(figure)
     figure.set_defaults(func=_cmd_figure)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="regenerate several figures from one deduplicated parallel batch",
+    )
+    sweep.add_argument("names", nargs="+", metavar="figure",
+                       help="figure names, e.g. fig4 fig6 fig9")
+    _add_sweep_options(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
 
     args = parser.parse_args(argv)
     return args.func(args)

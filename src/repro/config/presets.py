@@ -20,6 +20,8 @@ uncontended resource slices (Ideal / Static / ratio partitions) with
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.config.arch import ArchConfig
 from repro.config.dram import DramConfig
 from repro.config.misc import MiscConfig
@@ -29,6 +31,11 @@ from repro.core.sharing import SharingLevel
 
 #: Channels backing one NPU core's 128 GB/s share (Table 2).
 CHANNELS_PER_CORE = 4
+
+#: Per-core launch offset used in mix co-simulations (about half a tile
+#: period at mini scale): identical workloads launched on the same tick
+#: would otherwise burst in artificial lockstep forever.
+MIX_STAGGER_CYCLES = 1500
 
 _SCALES = ("full", "mini")
 
@@ -156,6 +163,60 @@ def cloud_npu(
         channel_assignment=channel_assignment,
         ptw_assignment=ptw_assignment,
     )
+
+
+def mix_system(
+    num_cores: int,
+    sharing: SharingLevel,
+    *,
+    scale: str = "mini",
+    page_bytes: int = 4096,
+    translation_enabled: bool = True,
+    ptw_split: tuple[int, ...] | None = None,
+    num_ptw_per_core: int | None = None,
+    tlb_entries_per_core: int | None = None,
+    misc: MiscConfig | None = None,
+) -> SystemConfig:
+    """A :func:`cloud_npu` system configured the way mix experiments run.
+
+    The paper launches each mix simultaneously and runs every workload
+    once: early finishers go idle and the remaining workloads inherit the
+    freed shared resources.  A small per-core launch stagger breaks the
+    artificial cycle-exact phase lock of repeated workloads in a mix.
+
+    ``ptw_split`` overrides walker sharing with a static per-core split
+    (figure 13's partitioning schemes) while DRAM stays at the given
+    sharing level.  ``num_ptw_per_core`` / ``tlb_entries_per_core``
+    enlarge the per-core pools (the walker-partitioning study needs
+    enough walkers to split at the paper's 1:7..7:1 ratios).
+    """
+    system = cloud_npu(
+        num_cores,
+        sharing,
+        scale=scale,
+        page_bytes=page_bytes,
+        translation_enabled=translation_enabled,
+        misc=misc
+        or MiscConfig(iterations=1, start_stagger_cycles=MIX_STAGGER_CYCLES),
+    )
+    overrides: dict[str, int] = {}
+    if num_ptw_per_core is not None:
+        overrides["num_ptw"] = num_ptw_per_core
+    if tlb_entries_per_core is not None:
+        overrides["tlb_entries"] = tlb_entries_per_core
+        overrides["tlb_assoc"] = min(8, tlb_entries_per_core)
+    if overrides:
+        npumem = tuple(
+            dataclasses.replace(cfg, **overrides) for cfg in system.npumem
+        )
+        system = dataclasses.replace(system, npumem=npumem)
+    if ptw_split is not None:
+        if len(ptw_split) != num_cores:
+            raise ValueError("one walker count per core required")
+        system = dataclasses.replace(
+            system, share_ptw=False, ptw_assignment=tuple(ptw_split)
+        )
+    return system
 
 
 def solo_slice(

@@ -5,6 +5,15 @@ Every function returns plain dicts/lists ready for printing (see
 an :class:`~repro.experiments.runner.ExperimentRunner`, so repeated calls
 are served from the on-disk cache.
 
+The hot reducers follow the *plan-then-execute* pattern: a ``*_specs``
+planner first collects every :class:`RunSpec` the figure needs, one
+:meth:`ExperimentRunner.run_many` call executes the whole deduplicated
+batch (in parallel when the runner's ``jobs > 1``), and only then does
+the reduction read results — each individual read is a cache hit.  The
+:data:`FIGURE_PLANNERS` registry exposes the planners so callers (the
+``mnpusim sweep`` subcommand) can batch *several* figures' specs into a
+single parallel fan-out.
+
 Index (paper -> function):
 
 ====== =============================================
@@ -37,10 +46,11 @@ from typing import Any, Sequence
 from repro.config import presets
 from repro.config.misc import MiscConfig
 from repro.core.metrics import box_stats, cdf_points, fairness, geomean
-from repro.core.sharing import SWEEP_LEVELS, SharingLevel
+from repro.core.sharing import CONTENDED_LEVELS, SWEEP_LEVELS, SharingLevel
 from repro.core.simulator import MultiCoreNPUSim
 from repro.experiments.mixes import all_mixes, mix_label
 from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import RunSpec
 from repro.models import zoo
 
 #: DRAM-bandwidth ratio splits of section 4.3 (eight channels, dual-core).
@@ -50,6 +60,35 @@ BW_SPLITS = ((1, 7), (2, 6), (4, 4), (6, 2), (7, 1))
 # --------------------------------------------------------------------- #
 # Shared helpers
 # --------------------------------------------------------------------- #
+
+
+def _ideal_specs(
+    runner: ExperimentRunner,
+    num_cores: int,
+    *,
+    page_bytes: int = 4096,
+    translation: bool = True,
+) -> list[RunSpec]:
+    return [
+        runner.plan_ideal(
+            name, num_cores, page_bytes=page_bytes, translation=translation
+        )
+        for name in zoo.NAMES
+    ]
+
+
+def _static_specs(
+    runner: ExperimentRunner,
+    *,
+    page_bytes: int = 4096,
+    translation: bool = True,
+) -> list[RunSpec]:
+    return [
+        runner.plan_static_equal(
+            name, page_bytes=page_bytes, translation=translation
+        )
+        for name in zoo.NAMES
+    ]
 
 
 def _ideal_cycles(
@@ -102,6 +141,20 @@ def mix_speedups(
     ]
 
 
+def sharing_sweep_specs(
+    runner: ExperimentRunner,
+    num_cores: int,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind Figures 4-7: Ideal/Static solos + contended mixes."""
+    mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    specs = _ideal_specs(runner, num_cores) + _static_specs(runner)
+    for mix in mixes:
+        for level in CONTENDED_LEVELS:
+            specs.append(runner.plan_mix(mix, level))
+    return specs
+
+
 def _sharing_sweep(
     runner: ExperimentRunner,
     num_cores: int,
@@ -109,6 +162,7 @@ def _sharing_sweep(
 ) -> dict[str, Any]:
     """Speedups and fairness for every mix under all four sweep levels."""
     mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    runner.run_many(sharing_sweep_specs(runner, num_cores, mixes))
     ideal = _ideal_cycles(runner, num_cores)
     static = _static_cycles(runner)
     per_mix: dict[str, dict[str, list[float]]] = {}
@@ -289,11 +343,23 @@ def fig7_quad_fairness(
 # --------------------------------------------------------------------- #
 
 
+def fig8_specs(
+    runner: ExperimentRunner,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind Figure 8: dual-core Ideal solos + DWT mixes."""
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    return _ideal_specs(runner, 2) + [
+        runner.plan_mix(mix, SharingLevel.DWT) for mix in mixes
+    ]
+
+
 def fig8_sensitivity(
     runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None = None
 ) -> dict[str, Any]:
     """Distribution of each workload's +DWT speedup across co-runners."""
     mixes = list(mixes) if mixes is not None else all_mixes(2)
+    runner.run_many(fig8_specs(runner, mixes))
     ideal = _ideal_cycles(runner, 2)
     samples: dict[str, list[float]] = {name: [] for name in zoo.NAMES}
     for mix in mixes:
@@ -314,10 +380,32 @@ def fig8_sensitivity(
 # --------------------------------------------------------------------- #
 
 
+def bw_partition_specs(
+    runner: ExperimentRunner,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind Figures 9-10: channel-share solos + +D mixes."""
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    channels = runner.per_core["channels"]
+    specs = _ideal_specs(runner, 2, translation=False)
+    for share in sorted({part for split in BW_SPLITS for part in split}):
+        specs += [
+            runner.plan_solo(
+                name, channels=channels * 2 * share // 8, translation=False
+            )
+            for name in zoo.NAMES
+        ]
+    specs += [
+        runner.plan_mix(mix, SharingLevel.D, translation=False) for mix in mixes
+    ]
+    return specs
+
+
 def _bw_partition_sweep(
     runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None
 ) -> dict[str, Any]:
     mixes = list(mixes) if mixes is not None else all_mixes(2)
+    runner.run_many(bw_partition_specs(runner, mixes))
     channels = runner.per_core["channels"]
     ideal = _ideal_cycles(runner, 2, translation=False)
     # Solo cycles at each static channel share (1..7 of 8).
@@ -395,13 +483,28 @@ def fig10_bandwidth_partition_fairness(
 # --------------------------------------------------------------------- #
 
 
+#: Channel counts of the Figure 11 bandwidth sweep (32-256 GB/s at full
+#: scale: every channel is one 32 GB/s share).
+FIG11_CHANNEL_COUNTS = (1, 2, 4, 6, 8)
+
+
+def fig11_specs(runner: ExperimentRunner) -> list[RunSpec]:
+    """Every spec behind Figure 11: solos at each channel count."""
+    return [
+        runner.plan_solo(name, channels=count)
+        for name in zoo.NAMES
+        for count in FIG11_CHANNEL_COUNTS
+    ]
+
+
 def fig11_bandwidth_sweep(runner: ExperimentRunner) -> dict[str, Any]:
     """Single-core speedup vs DRAM bandwidth, normalized to the smallest.
 
     Channel counts 1/2/4/6/8 reproduce the paper's 32-256 GB/s sweep
     (every channel is one 32 GB/s share at full scale).
     """
-    counts = (1, 2, 4, 6, 8)
+    runner.run_many(fig11_specs(runner))
+    counts = FIG11_CHANNEL_COUNTS
     per_workload: dict[str, list[tuple[int, float]]] = {}
     for name in zoo.NAMES:
         base = runner.solo(name, channels=counts[0])["cycles"]
@@ -477,10 +580,43 @@ PTW_SPLITS = ((1, 3), (2, 2), (3, 1))
 _PTW_PER_CORE_FACTOR = 2
 
 
+def ptw_partition_specs(
+    runner: ExperimentRunner,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind Figures 13-14: big-pool solos + split/DW mixes."""
+    mixes = list(mixes) if mixes is not None else all_mixes(2)
+    per_core = runner.per_core["num_ptw"] * _PTW_PER_CORE_FACTOR
+    specs = [
+        runner.plan_solo(
+            name,
+            channels=runner.per_core["channels"] * 2,
+            num_ptw=per_core * 2,
+            tlb_entries=runner.per_core["tlb_entries"] * 2,
+        )
+        for name in zoo.NAMES
+    ]
+    for mix in mixes:
+        for left, right in PTW_SPLITS:
+            specs.append(
+                runner.plan_mix(
+                    mix,
+                    SharingLevel.D,
+                    ptw_split=(left, right),
+                    num_ptw_per_core=per_core,
+                )
+            )
+        specs.append(
+            runner.plan_mix(mix, SharingLevel.DW, num_ptw_per_core=per_core)
+        )
+    return specs
+
+
 def _ptw_partition_sweep(
     runner: ExperimentRunner, mixes: Sequence[tuple[str, ...]] | None
 ) -> dict[str, Any]:
     mixes = list(mixes) if mixes is not None else all_mixes(2)
+    runner.run_many(ptw_partition_specs(runner, mixes))
     per_core = runner.per_core["num_ptw"] * _PTW_PER_CORE_FACTOR
     ideal = {
         name: runner.solo(
@@ -562,8 +698,18 @@ PAGE_SIZES = (4096, 65536, 1048576)
 _PAGE_LABELS = {4096: "4KB", 65536: "64KB", 1048576: "1MB"}
 
 
+def fig15_specs(runner: ExperimentRunner) -> list[RunSpec]:
+    """Every spec behind Figure 15: solos at each page size."""
+    return [
+        runner.plan_solo(name, page_bytes=size)
+        for name in zoo.NAMES
+        for size in PAGE_SIZES
+    ]
+
+
 def fig15_pagesize_single(runner: ExperimentRunner) -> dict[str, Any]:
     """Single-core speedup of 64KB/1MB pages over 4KB, per workload."""
+    runner.run_many(fig15_specs(runner))
     per_workload: dict[str, dict[str, float]] = {}
     for name in zoo.NAMES:
         base = runner.solo(name, page_bytes=4096)["cycles"]
@@ -578,6 +724,26 @@ def fig15_pagesize_single(runner: ExperimentRunner) -> dict[str, Any]:
     return {"per_workload": per_workload, "overall": overall}
 
 
+def fig16_specs(
+    runner: ExperimentRunner,
+    num_cores: int,
+    mixes: Sequence[tuple[str, ...]] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind Figure 16: per-page-size Ideal solos + DWT mixes."""
+    mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    specs = [
+        spec
+        for size in PAGE_SIZES
+        for spec in _ideal_specs(runner, num_cores, page_bytes=size)
+    ]
+    specs += [
+        runner.plan_mix(mix, SharingLevel.DWT, page_bytes=size)
+        for mix in mixes
+        for size in PAGE_SIZES
+    ]
+    return specs
+
+
 def fig16_pagesize_multi(
     runner: ExperimentRunner,
     num_cores: int,
@@ -589,6 +755,7 @@ def fig16_pagesize_multi(
     ratios); fairness baseline is Ideal at the matching page size.
     """
     mixes = list(mixes) if mixes is not None else all_mixes(num_cores)
+    runner.run_many(fig16_specs(runner, num_cores, mixes))
     perf: dict[str, dict[str, float]] = {}
     fair: dict[str, dict[str, float]] = {}
     ideal = {
@@ -628,3 +795,59 @@ def fig16_pagesize_multi(
         "overall_performance": overall_perf,
         "overall_fairness": overall_fair,
     }
+
+
+# --------------------------------------------------------------------- #
+# Planner registry
+# --------------------------------------------------------------------- #
+
+
+def _plan_fig4(runner, dual, quad):
+    return sharing_sweep_specs(runner, 2, dual)
+
+
+def _plan_fig5(runner, dual, quad):
+    return sharing_sweep_specs(runner, 4, quad)
+
+
+def _plan_fig8(runner, dual, quad):
+    return fig8_specs(runner, dual)
+
+
+def _plan_bw(runner, dual, quad):
+    return bw_partition_specs(runner, dual)
+
+
+def _plan_fig11(runner, dual, quad):
+    return fig11_specs(runner)
+
+
+def _plan_ptw(runner, dual, quad):
+    return ptw_partition_specs(runner, dual)
+
+
+def _plan_fig15(runner, dual, quad):
+    return fig15_specs(runner)
+
+
+def _plan_fig16(runner, dual, quad):
+    return fig16_specs(runner, 2, dual)
+
+
+#: ``figure name -> planner(runner, dual_mixes, quad_mixes) -> [RunSpec]``.
+#: Figures 2 and 12 trace bandwidth inside one ad-hoc simulation and have
+#: no cacheable spec set; figures 17/18 live in :mod:`repro.mapping`.
+FIGURE_PLANNERS = {
+    "fig4": _plan_fig4,
+    "fig5": _plan_fig5,
+    "fig6": _plan_fig4,  # same sweep as fig4, reduced to fairness
+    "fig7": _plan_fig5,  # same sweep as fig5, reduced to fairness
+    "fig8": _plan_fig8,
+    "fig9": _plan_bw,
+    "fig10": _plan_bw,
+    "fig11": _plan_fig11,
+    "fig13": _plan_ptw,
+    "fig14": _plan_ptw,
+    "fig15": _plan_fig15,
+    "fig16": _plan_fig16,
+}

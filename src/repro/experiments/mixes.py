@@ -26,6 +26,20 @@ def mix_label(mix: Sequence[str]) -> str:
     return "+".join(mix)
 
 
+def mixes_for(
+    k: int, limit: int | None = None, names: Sequence[str] | None = None
+) -> list[tuple[str, ...]]:
+    """The mixes a sweep should evaluate: all of them, or a spread subset.
+
+    ``limit=None`` means the full :func:`all_mixes` enumeration; anything
+    else delegates to :func:`subset_mixes`.  This is the one knob the CLI
+    and the benchmark harness expose.
+    """
+    if limit is None:
+        return all_mixes(k, names)
+    return subset_mixes(k, limit, names)
+
+
 def subset_mixes(
     k: int, limit: int, names: Sequence[str] | None = None
 ) -> list[tuple[str, ...]]:

@@ -1,47 +1,61 @@
-"""Cached experiment executor.
+"""Cached experiment executor built around :class:`RunSpec` descriptors.
 
-Every figure of the paper reduces to two kinds of simulation:
+Every figure of the paper reduces to a fan-out of independent solo/mix
+simulations (see :mod:`repro.experiments.spec` for the taxonomy).  The
+runner's job is to execute such fan-outs efficiently:
 
-* **solo runs** — one workload alone on an explicit resource slice.
-  ``Ideal`` (the whole N-core pool), equal ``Static`` (one per-core
-  share) and every static-ratio partition of section 4.3/4.4 are solo
-  runs, because statically partitioned resources have no inter-core
-  contention.
-* **mix runs** — a genuine multi-core co-simulation under one of the
-  dynamic sharing levels (+D / +DW / +DWT), optionally with a static
-  walker split (figure 13) layered on top.
+* :meth:`ExperimentRunner.plan` / ``plan_*`` — turn parameters into a
+  frozen, fully-resolved :class:`RunSpec`;
+* :meth:`ExperimentRunner.run` — execute one spec, cache-first;
+* :meth:`ExperimentRunner.run_many` — deduplicate a batch of specs,
+  satisfy cache hits, then shard the cold runs across a
+  ``ProcessPoolExecutor`` (``jobs`` workers), writing one cache shard per
+  completed run and reporting progress/ETA through a pluggable callback.
+
+Workers rebuild the whole simulation from the spec alone (plus the
+pickled network topologies), so parallel and serial execution produce
+byte-identical cache files and results.
 
 Runs are memoized on disk (JSON, keyed by a hash of every parameter), so
 re-generating a figure after the first sweep is instant and benchmark
 reruns do not repay the simulation cost.
+
+The kwarg-form ``solo()`` / ``ideal()`` / ``static_equal()`` / ``mix()``
+methods remain as thin wrappers that build a :class:`RunSpec` internally;
+new code should plan specs and call :meth:`run_many`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.config import presets
-from repro.config.misc import MiscConfig
-from repro.config.system import SystemConfig
 from repro.core.sharing import SharingLevel
 from repro.core.simulator import MultiCoreNPUSim, WorkloadResult
+from repro.experiments.spec import RESULTS_VERSION, RunSpec
 from repro.models import zoo
 
-#: Bump to invalidate cached results when simulator semantics change.
-RESULTS_VERSION = 10
+__all__ = [
+    "DEFAULT_MAX_TICKS",
+    "MIX_STAGGER_CYCLES",
+    "RESULTS_VERSION",
+    "ExperimentRunner",
+    "RunProgress",
+    "RunSpec",
+]
 
 #: Safety valve: a run exceeding this many global ticks raises instead of
 #: spinning forever.
 DEFAULT_MAX_TICKS = 50_000_000_000
 
-#: Per-core launch offset used in mix co-simulations (about half a tile
-#: period at mini scale): identical workloads launched on the same tick
-#: would otherwise burst in artificial lockstep forever.
-MIX_STAGGER_CYCLES = 1500
+#: Re-exported for back-compat; the constant lives with the presets now.
+MIX_STAGGER_CYCLES = presets.MIX_STAGGER_CYCLES
 
 
 def _result_dict(result: WorkloadResult) -> dict[str, Any]:
@@ -51,17 +65,56 @@ def _result_dict(result: WorkloadResult) -> dict[str, Any]:
     return payload
 
 
+def _execute_spec(
+    spec: RunSpec, networks: Sequence[Any], max_ticks: int
+) -> list[dict[str, Any]]:
+    """Run one spec to completion; the process-pool worker entry point.
+
+    Deliberately a module-level function of picklable arguments: workers
+    reconstruct the simulator purely from the spec plus the network
+    topologies, so results cannot depend on parent-process state.
+    """
+    sim = MultiCoreNPUSim(spec.system(), list(networks))
+    mix_result = sim.run(max_ticks=max_ticks)
+    return [_result_dict(result) for result in mix_result.workloads]
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One progress event from :meth:`ExperimentRunner.run_many`.
+
+    ``completed`` counts specs whose results are available (cache hits
+    included); ``eta_seconds`` extrapolates from the cold runs finished
+    so far and is ``None`` until the first one lands.
+    """
+
+    completed: int
+    total: int
+    cache_hits: int
+    spec: RunSpec | None
+    elapsed_seconds: float
+    eta_seconds: float | None
+
+
+#: Signature of the pluggable progress reporter.
+ProgressCallback = Callable[[RunProgress], None]
+
+
 class ExperimentRunner:
-    """Runs (and caches) the solo/mix simulations behind every figure."""
+    """Plans, executes (and caches) the simulations behind every figure."""
 
     def __init__(
         self,
         scale: str = "mini",
         cache_dir: str | Path | None = None,
         max_ticks: int = DEFAULT_MAX_TICKS,
+        jobs: int = 1,
+        progress: ProgressCallback | None = None,
     ) -> None:
         self.scale = scale
         self.max_ticks = max_ticks
+        self.jobs = max(1, jobs)
+        self.progress = progress
         if cache_dir is None:
             cache_dir = Path.cwd() / ".repro_cache"
         self.cache_dir = Path(cache_dir)
@@ -77,7 +130,8 @@ class ExperimentRunner:
         Registered names shadow zoo names, so keep them distinct.  Cache
         entries are keyed by name: a registered network must always carry
         the same topology for its name (random nets are seed-named, which
-        guarantees this).
+        guarantees this).  Registered topologies are pickled to the
+        worker processes of :meth:`run_many`, so they work there too.
         """
         self._networks[network.name] = network
 
@@ -87,44 +141,234 @@ class ExperimentRunner:
         return zoo.get(name, self.scale)
 
     # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def plan(self, spec: RunSpec) -> RunSpec:
+        """Resolve a spec against this runner's scale defaults.
+
+        Solo specs with unset resource fields get the scale's Table 2
+        per-core share (the equal Static split).  Specs planned here are
+        safe to hand to :meth:`run` / :meth:`run_many` or to hash.
+        """
+        if spec.kind == "solo" and not spec.is_resolved:
+            per_core = presets.per_core_resources(spec.scale)
+            spec = dataclasses.replace(
+                spec,
+                channels=spec.channels if spec.channels is not None
+                else per_core["channels"],
+                num_ptw=spec.num_ptw if spec.num_ptw is not None
+                else per_core["num_ptw"],
+                tlb_entries=spec.tlb_entries if spec.tlb_entries is not None
+                else per_core["tlb_entries"],
+            )
+        return spec
+
+    def plan_solo(
+        self,
+        workload: str,
+        *,
+        channels: int | None = None,
+        num_ptw: int | None = None,
+        tlb_entries: int | None = None,
+        page_bytes: int = 4096,
+        translation: bool = True,
+    ) -> RunSpec:
+        """Spec for one workload alone on an explicit resource slice."""
+        return RunSpec.solo(
+            workload,
+            scale=self.scale,
+            channels=channels,
+            num_ptw=num_ptw,
+            tlb_entries=tlb_entries,
+            page_bytes=page_bytes,
+            translation=translation,
+        )
+
+    def plan_ideal(
+        self,
+        workload: str,
+        num_cores: int,
+        *,
+        page_bytes: int = 4096,
+        translation: bool = True,
+    ) -> RunSpec:
+        """Spec for the Ideal baseline: the whole N-core resource pool."""
+        return RunSpec.ideal(
+            workload,
+            num_cores,
+            scale=self.scale,
+            page_bytes=page_bytes,
+            translation=translation,
+        )
+
+    def plan_static_equal(
+        self,
+        workload: str,
+        *,
+        page_bytes: int = 4096,
+        translation: bool = True,
+    ) -> RunSpec:
+        """Spec for the equal Static split: one per-core resource share."""
+        return self.plan_solo(
+            workload, page_bytes=page_bytes, translation=translation
+        )
+
+    def plan_mix(
+        self,
+        names: Sequence[str],
+        sharing: SharingLevel,
+        *,
+        page_bytes: int = 4096,
+        translation: bool = True,
+        ptw_split: Sequence[int] | None = None,
+        num_ptw_per_core: int | None = None,
+        tlb_entries_per_core: int | None = None,
+    ) -> RunSpec:
+        """Spec for a co-simulation under a dynamic sharing level."""
+        return RunSpec.mix(
+            names,
+            sharing,
+            scale=self.scale,
+            page_bytes=page_bytes,
+            translation=translation,
+            ptw_split=ptw_split,
+            num_ptw_per_core=num_ptw_per_core,
+            tlb_entries_per_core=tlb_entries_per_core,
+        )
+
+    # ------------------------------------------------------------------ #
     # Cache plumbing
     # ------------------------------------------------------------------ #
 
-    def _cached(self, descriptor: dict[str, Any]) -> list[dict[str, Any]] | None:
-        payload = json.dumps(descriptor, sort_keys=True)
-        key = hashlib.sha256(payload.encode()).hexdigest()[:24]
-        path = self.cache_dir / f"{key}.json"
+    def _cache_path(self, spec: RunSpec) -> Path:
+        return self.cache_dir / f"{spec.cache_key()}.json"
+
+    def _cached(self, spec: RunSpec) -> list[dict[str, Any]] | None:
+        path = self._cache_path(spec)
         if path.exists():
             self.cache_hits += 1
             return json.loads(path.read_text())["results"]
         return None
 
-    def _store(
-        self, descriptor: dict[str, Any], results: list[dict[str, Any]]
-    ) -> None:
-        payload = json.dumps(descriptor, sort_keys=True)
-        key = hashlib.sha256(payload.encode()).hexdigest()[:24]
-        path = self.cache_dir / f"{key}.json"
-        path.write_text(
-            json.dumps({"descriptor": descriptor, "results": results}, indent=1)
+    def _store(self, spec: RunSpec, results: list[dict[str, Any]]) -> None:
+        self._cache_path(spec).write_text(
+            json.dumps(
+                {"descriptor": spec.descriptor(), "results": results}, indent=1
+            )
         )
 
-    def _execute(
-        self, descriptor: dict[str, Any], system: SystemConfig, names: Sequence[str]
-    ) -> list[dict[str, Any]]:
-        cached = self._cached(descriptor)
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, spec: RunSpec) -> list[dict[str, Any]]:
+        """Execute one spec in-process, cache-first."""
+        spec = self.plan(spec)
+        cached = self._cached(spec)
         if cached is not None:
             return cached
-        networks = [self._network(name) for name in names]
-        sim = MultiCoreNPUSim(system, networks)
-        mix_result = sim.run(max_ticks=self.max_ticks)
-        results = [_result_dict(result) for result in mix_result.workloads]
-        self._store(descriptor, results)
+        results = _execute_spec(
+            spec,
+            [self._network(name) for name in spec.workloads],
+            self.max_ticks,
+        )
+        self._store(spec, results)
         self.runs_executed += 1
         return results
 
+    def run_many(
+        self,
+        specs: Iterable[RunSpec],
+        jobs: int | None = None,
+        progress: ProgressCallback | None = None,
+    ) -> dict[RunSpec, list[dict[str, Any]]]:
+        """Execute a batch of specs, in parallel when ``jobs > 1``.
+
+        The batch is deduplicated (specs are frozen and hashable), cache
+        hits are satisfied first, and the remaining cold runs are sharded
+        across a process pool.  The parent process writes one cache shard
+        per completed run — workers never touch the cache directory — and
+        reports progress through ``progress`` (or the runner's default
+        callback) after every completion.
+
+        Returns a mapping from each *planned* spec to its per-workload
+        result dicts; look results up with the specs returned by the
+        ``plan_*`` helpers.
+        """
+        jobs = self.jobs if jobs is None else max(1, jobs)
+        progress = progress if progress is not None else self.progress
+        ordered = list(dict.fromkeys(self.plan(spec) for spec in specs))
+        started = time.monotonic()
+        results: dict[RunSpec, list[dict[str, Any]]] = {}
+        cold: list[RunSpec] = []
+        for spec in ordered:
+            cached = self._cached(spec)
+            if cached is not None:
+                results[spec] = cached
+            else:
+                cold.append(spec)
+        hits = len(results)
+        cold_done = 0
+
+        def report(spec: RunSpec | None) -> None:
+            if progress is None:
+                return
+            elapsed = time.monotonic() - started
+            eta = None
+            if cold_done and cold_done < len(cold):
+                eta = elapsed / cold_done * (len(cold) - cold_done)
+            progress(
+                RunProgress(
+                    completed=hits + cold_done,
+                    total=len(ordered),
+                    cache_hits=hits,
+                    spec=spec,
+                    elapsed_seconds=elapsed,
+                    eta_seconds=eta,
+                )
+            )
+
+        def finish(spec: RunSpec, payload: list[dict[str, Any]]) -> None:
+            nonlocal cold_done
+            self._store(spec, payload)
+            self.runs_executed += 1
+            results[spec] = payload
+            cold_done += 1
+            report(spec)
+
+        report(None)
+        if not cold:
+            return results
+        if jobs == 1 or len(cold) == 1:
+            for spec in cold:
+                finish(
+                    spec,
+                    _execute_spec(
+                        spec,
+                        [self._network(name) for name in spec.workloads],
+                        self.max_ticks,
+                    ),
+                )
+            return results
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cold))) as pool:
+            pending = {
+                pool.submit(
+                    _execute_spec,
+                    spec,
+                    tuple(self._network(name) for name in spec.workloads),
+                    self.max_ticks,
+                ): spec
+                for spec in cold
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    finish(pending.pop(future), future.result())
+        return results
+
     # ------------------------------------------------------------------ #
-    # Solo runs (Ideal / Static / ratio slices)
+    # Back-compat kwarg API (thin wrappers over RunSpec)
     # ------------------------------------------------------------------ #
 
     def solo(
@@ -137,33 +381,20 @@ class ExperimentRunner:
         page_bytes: int = 4096,
         translation: bool = True,
     ) -> dict[str, Any]:
-        """One workload alone on an explicit resource slice."""
-        channels = channels if channels is not None else self.per_core["channels"]
-        num_ptw = num_ptw if num_ptw is not None else self.per_core["num_ptw"]
-        tlb_entries = (
-            tlb_entries if tlb_entries is not None else self.per_core["tlb_entries"]
-        )
-        descriptor = {
-            "version": RESULTS_VERSION,
-            "kind": "solo",
-            "scale": self.scale,
-            "workload": workload,
-            "channels": channels,
-            "num_ptw": num_ptw,
-            "tlb_entries": tlb_entries,
-            "page_bytes": page_bytes,
-            "translation": translation,
-        }
-        system = presets.solo_slice(
-            scale=self.scale,
-            channels=channels,
-            num_ptw=num_ptw,
-            tlb_entries=tlb_entries,
-            page_bytes=page_bytes,
-            translation_enabled=translation,
-            misc=MiscConfig(iterations=1),
-        )
-        return self._execute(descriptor, system, [workload])[0]
+        """One workload alone on an explicit resource slice.
+
+        Deprecated kwarg form; equivalent to ``run(plan_solo(...))[0]``.
+        """
+        return self.run(
+            self.plan_solo(
+                workload,
+                channels=channels,
+                num_ptw=num_ptw,
+                tlb_entries=tlb_entries,
+                page_bytes=page_bytes,
+                translation=translation,
+            )
+        )[0]
 
     def ideal(
         self,
@@ -174,14 +405,14 @@ class ExperimentRunner:
         translation: bool = True,
     ) -> dict[str, Any]:
         """The Ideal baseline: alone with the whole N-core resource pool."""
-        return self.solo(
-            workload,
-            channels=self.per_core["channels"] * num_cores,
-            num_ptw=self.per_core["num_ptw"] * num_cores,
-            tlb_entries=self.per_core["tlb_entries"] * num_cores,
-            page_bytes=page_bytes,
-            translation=translation,
-        )
+        return self.run(
+            self.plan_ideal(
+                workload,
+                num_cores,
+                page_bytes=page_bytes,
+                translation=translation,
+            )
+        )[0]
 
     def static_equal(
         self,
@@ -191,13 +422,7 @@ class ExperimentRunner:
         translation: bool = True,
     ) -> dict[str, Any]:
         """The equal Static split: exactly one per-core resource share."""
-        return self.solo(
-            workload, page_bytes=page_bytes, translation=translation
-        )
-
-    # ------------------------------------------------------------------ #
-    # Mix runs (dynamic sharing levels)
-    # ------------------------------------------------------------------ #
+        return self.solo(workload, page_bytes=page_bytes, translation=translation)
 
     def mix(
         self,
@@ -212,59 +437,17 @@ class ExperimentRunner:
     ) -> list[dict[str, Any]]:
         """Co-simulate ``names`` under a dynamic sharing level.
 
-        ``ptw_split`` overrides walker sharing with a static per-core
-        split (figure 13's partitioning schemes) while DRAM stays at the
-        given sharing level.  ``num_ptw_per_core`` enlarges the walker
-        pool (the walker-partitioning study needs enough walkers to
-        split at the paper's 1:7..7:1 ratios).
+        Deprecated kwarg form; equivalent to ``run(plan_mix(...))``.  See
+        :meth:`plan_mix` for the walker-partitioning overrides.
         """
-        if not sharing.is_contended:
-            raise ValueError(
-                f"{sharing.label} has no dynamic contention; use solo runs"
+        return self.run(
+            self.plan_mix(
+                names,
+                sharing,
+                page_bytes=page_bytes,
+                translation=translation,
+                ptw_split=ptw_split,
+                num_ptw_per_core=num_ptw_per_core,
+                tlb_entries_per_core=tlb_entries_per_core,
             )
-        descriptor = {
-            "version": RESULTS_VERSION,
-            "kind": "mix",
-            "scale": self.scale,
-            "workloads": list(names),
-            "sharing": sharing.name,
-            "page_bytes": page_bytes,
-            "translation": translation,
-            "ptw_split": list(ptw_split) if ptw_split else None,
-            "num_ptw_per_core": num_ptw_per_core,
-            "tlb_entries_per_core": tlb_entries_per_core,
-        }
-        cached = self._cached(descriptor)
-        if cached is not None:
-            return cached
-        system = presets.cloud_npu(
-            len(names),
-            sharing,
-            scale=self.scale,
-            page_bytes=page_bytes,
-            translation_enabled=translation,
-            # The paper launches the mix simultaneously and runs each
-            # workload once: early finishers go idle and the remaining
-            # workloads inherit the freed shared resources.  A small
-            # per-core launch stagger breaks the artificial cycle-exact
-            # phase lock of repeated workloads in a mix.
-            misc=MiscConfig(iterations=1, start_stagger_cycles=MIX_STAGGER_CYCLES),
         )
-        overrides: dict[str, Any] = {}
-        if num_ptw_per_core is not None:
-            overrides["num_ptw"] = num_ptw_per_core
-        if tlb_entries_per_core is not None:
-            overrides["tlb_entries"] = tlb_entries_per_core
-            overrides["tlb_assoc"] = min(8, tlb_entries_per_core)
-        if overrides:
-            npumem = tuple(
-                dataclasses.replace(cfg, **overrides) for cfg in system.npumem
-            )
-            system = dataclasses.replace(system, npumem=npumem)
-        if ptw_split is not None:
-            if len(ptw_split) != len(names):
-                raise ValueError("one walker count per core required")
-            system = dataclasses.replace(
-                system, share_ptw=False, ptw_assignment=tuple(ptw_split)
-            )
-        return self._execute(descriptor, system, names)

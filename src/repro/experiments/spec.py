@@ -1,0 +1,293 @@
+"""Declarative run descriptors: one :class:`RunSpec` per simulation.
+
+Every simulation behind the paper's figures is either a *solo* run (one
+workload alone on an explicit resource slice — Ideal, equal Static and
+the ratio partitions of sections 4.3/4.4) or a *mix* run (a genuine
+multi-core co-simulation under one of the dynamic sharing levels).  A
+:class:`RunSpec` captures everything that distinguishes one such run
+from another, and serves three roles at once:
+
+* the **cache key** — :meth:`RunSpec.descriptor` reproduces the exact
+  JSON descriptor the on-disk result cache has always been keyed by, so
+  caches written before this API existed stay valid;
+* the **batch-submission unit** — specs are frozen and hashable, so a
+  sweep is a plain list that can be deduplicated with ``dict.fromkeys``
+  and sharded across worker processes;
+* the **public API surface** — :meth:`RunSpec.system` builds the
+  :class:`~repro.config.system.SystemConfig` a worker needs, with no
+  reference back to the runner that planned it.
+
+Build specs with the :meth:`RunSpec.solo` / :meth:`RunSpec.mix`
+constructors (which resolve per-scale resource defaults), or with the
+``plan_*`` helpers on :class:`~repro.experiments.runner.ExperimentRunner`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.config import presets
+from repro.config.misc import MiscConfig
+from repro.config.system import SystemConfig
+from repro.core.sharing import SharingLevel
+
+#: Bump to invalidate cached results when simulator semantics change.
+RESULTS_VERSION = 10
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete, immutable description of one solo or mix simulation.
+
+    ``kind`` is ``"solo"`` or ``"mix"``.  Solo runs carry an explicit
+    resource slice (``channels`` / ``num_ptw`` / ``tlb_entries``); mix
+    runs carry a dynamic ``sharing`` level (the :class:`SharingLevel`
+    *name*, kept as a string so specs stay trivially JSON/pickle-stable)
+    plus the optional walker-partitioning overrides of figure 13.
+
+    Solo resource fields may be left ``None`` and resolved later against
+    the scale's Table 2 per-core defaults with :meth:`resolve` (this is
+    what ``ExperimentRunner.plan`` does); an unresolved spec refuses to
+    produce a cache key.
+    """
+
+    kind: str
+    workloads: tuple[str, ...]
+    scale: str = "mini"
+    sharing: str | None = None
+    channels: int | None = None
+    num_ptw: int | None = None
+    tlb_entries: int | None = None
+    page_bytes: int = 4096
+    translation: bool = True
+    ptw_split: tuple[int, ...] | None = None
+    num_ptw_per_core: int | None = None
+    tlb_entries_per_core: int | None = None
+    version: int = RESULTS_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        if self.ptw_split is not None:
+            object.__setattr__(self, "ptw_split", tuple(self.ptw_split))
+        if self.kind not in ("solo", "mix"):
+            raise ValueError(f"kind must be 'solo' or 'mix', got {self.kind!r}")
+        if not self.workloads:
+            raise ValueError("a run needs at least one workload")
+        if self.kind == "solo":
+            if len(self.workloads) != 1:
+                raise ValueError("solo runs take exactly one workload")
+            if self.sharing is not None:
+                raise ValueError(
+                    "solo runs are uncontended; drop 'sharing' and describe "
+                    "the resource slice instead"
+                )
+            if self.ptw_split is not None or self.num_ptw_per_core is not None:
+                raise ValueError("walker-partitioning fields are mix-only")
+        else:
+            if self.sharing is None:
+                raise ValueError("mix runs need a sharing level")
+            if not self.sharing_level.is_contended:
+                raise ValueError(
+                    f"{self.sharing_level.label} has no dynamic contention; "
+                    "use solo runs"
+                )
+            if self.channels is not None or self.num_ptw is not None:
+                raise ValueError(
+                    "explicit resource slices are solo-only; mixes size "
+                    "their pools from the core count"
+                )
+            if self.ptw_split is not None and len(self.ptw_split) != len(
+                self.workloads
+            ):
+                raise ValueError("one walker count per core required")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def solo(
+        cls,
+        workload: str,
+        *,
+        scale: str = "mini",
+        channels: int | None = None,
+        num_ptw: int | None = None,
+        tlb_entries: int | None = None,
+        page_bytes: int = 4096,
+        translation: bool = True,
+    ) -> "RunSpec":
+        """One workload alone on a resource slice (defaults: one per-core
+        Table 2 share, i.e. the equal Static split)."""
+        return cls(
+            kind="solo",
+            workloads=(workload,),
+            scale=scale,
+            channels=channels,
+            num_ptw=num_ptw,
+            tlb_entries=tlb_entries,
+            page_bytes=page_bytes,
+            translation=translation,
+        ).resolve()
+
+    @classmethod
+    def ideal(
+        cls,
+        workload: str,
+        num_cores: int,
+        *,
+        scale: str = "mini",
+        page_bytes: int = 4096,
+        translation: bool = True,
+    ) -> "RunSpec":
+        """The Ideal baseline: alone with the whole N-core resource pool."""
+        per_core = presets.per_core_resources(scale)
+        return cls.solo(
+            workload,
+            scale=scale,
+            channels=per_core["channels"] * num_cores,
+            num_ptw=per_core["num_ptw"] * num_cores,
+            tlb_entries=per_core["tlb_entries"] * num_cores,
+            page_bytes=page_bytes,
+            translation=translation,
+        )
+
+    @classmethod
+    def mix(
+        cls,
+        workloads: Sequence[str],
+        sharing: SharingLevel | str,
+        *,
+        scale: str = "mini",
+        page_bytes: int = 4096,
+        translation: bool = True,
+        ptw_split: Sequence[int] | None = None,
+        num_ptw_per_core: int | None = None,
+        tlb_entries_per_core: int | None = None,
+    ) -> "RunSpec":
+        """A co-simulation of ``workloads`` under a dynamic sharing level."""
+        if isinstance(sharing, SharingLevel):
+            sharing = sharing.name
+        return cls(
+            kind="mix",
+            workloads=tuple(workloads),
+            scale=scale,
+            sharing=sharing,
+            page_bytes=page_bytes,
+            translation=translation,
+            ptw_split=tuple(ptw_split) if ptw_split is not None else None,
+            num_ptw_per_core=num_ptw_per_core,
+            tlb_entries_per_core=tlb_entries_per_core,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sharing_level(self) -> SharingLevel:
+        """The sharing level as an enum (mix runs only)."""
+        if self.sharing is None:
+            raise ValueError("solo runs have no sharing level")
+        return SharingLevel[self.sharing]
+
+    @property
+    def is_resolved(self) -> bool:
+        """True when every cache-key-relevant field is concrete."""
+        if self.kind == "solo":
+            return None not in (self.channels, self.num_ptw, self.tlb_entries)
+        return True
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity, e.g. ``"mix ncf+gpt2 +DWT"``."""
+        names = "+".join(self.workloads)
+        if self.kind == "solo":
+            return f"solo {names} ch={self.channels} pg={self.page_bytes}"
+        return f"mix {names} {self.sharing_level.label}"
+
+    def resolve(self) -> "RunSpec":
+        """Fill unset solo resource fields with the scale's per-core share."""
+        if self.is_resolved:
+            return self
+        per_core = presets.per_core_resources(self.scale)
+        return dataclasses.replace(
+            self,
+            channels=self.channels if self.channels is not None
+            else per_core["channels"],
+            num_ptw=self.num_ptw if self.num_ptw is not None
+            else per_core["num_ptw"],
+            tlb_entries=self.tlb_entries if self.tlb_entries is not None
+            else per_core["tlb_entries"],
+        )
+
+    def descriptor(self) -> dict[str, Any]:
+        """The JSON cache descriptor (identical to the pre-RunSpec format)."""
+        if not self.is_resolved:
+            raise ValueError(
+                f"unresolved spec {self!r}: call .resolve() or plan it "
+                "through an ExperimentRunner first"
+            )
+        if self.kind == "solo":
+            return {
+                "version": self.version,
+                "kind": "solo",
+                "scale": self.scale,
+                "workload": self.workloads[0],
+                "channels": self.channels,
+                "num_ptw": self.num_ptw,
+                "tlb_entries": self.tlb_entries,
+                "page_bytes": self.page_bytes,
+                "translation": self.translation,
+            }
+        return {
+            "version": self.version,
+            "kind": "mix",
+            "scale": self.scale,
+            "workloads": list(self.workloads),
+            "sharing": self.sharing,
+            "page_bytes": self.page_bytes,
+            "translation": self.translation,
+            "ptw_split": list(self.ptw_split) if self.ptw_split else None,
+            "num_ptw_per_core": self.num_ptw_per_core,
+            "tlb_entries_per_core": self.tlb_entries_per_core,
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash of the descriptor (the cache file stem)."""
+        payload = json.dumps(self.descriptor(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def system(self) -> SystemConfig:
+        """Build the :class:`SystemConfig` this spec describes.
+
+        Workers reconstruct the whole simulation from the spec alone, so
+        this is the single source of truth for how solo slices and mixes
+        are configured (the CLI's ``mix`` path uses it too, keeping CLI
+        results bit-identical to the experiment runner's).
+        """
+        if self.kind == "solo":
+            spec = self.resolve()
+            return presets.solo_slice(
+                scale=spec.scale,
+                channels=spec.channels,
+                num_ptw=spec.num_ptw,
+                tlb_entries=spec.tlb_entries,
+                page_bytes=spec.page_bytes,
+                translation_enabled=spec.translation,
+                misc=MiscConfig(iterations=1),
+            )
+        return presets.mix_system(
+            len(self.workloads),
+            self.sharing_level,
+            scale=self.scale,
+            page_bytes=self.page_bytes,
+            translation_enabled=self.translation,
+            ptw_split=self.ptw_split,
+            num_ptw_per_core=self.num_ptw_per_core,
+            tlb_entries_per_core=self.tlb_entries_per_core,
+        )

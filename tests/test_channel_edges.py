@@ -1,10 +1,6 @@
 """Edge-case tests for the DRAM channel model."""
 
-import dataclasses
-
-import pytest
-
-from repro.config.dram import DramConfig, DramTiming
+from repro.config.dram import DramConfig
 from repro.core.engine import Engine
 from repro.dram.channel import Bank, Channel, DramRequest
 from repro.dram.stats import DramStats

@@ -92,6 +92,42 @@ class TestMixCommand:
         with pytest.raises(SystemExit):
             main(["mix", "vgg16"])
 
+    def test_mix_agrees_with_experiment_runner(self, tmp_path, capsys):
+        # The CLI and the cached runner plan the same RunSpec, so their
+        # cycle counts must match exactly for identical parameters.
+        from repro.core.sharing import SharingLevel
+        from repro.experiments.runner import ExperimentRunner
+
+        assert main(["mix", "ncf", "ncf", "--sharing", "DW"]) == 0
+        out = capsys.readouterr().out
+        cli_cycles = [
+            int(line.split()[2]) for line in out.splitlines() if "cycles" in line
+        ]
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        results = runner.mix(("ncf", "ncf"), SharingLevel.DW)
+        assert cli_cycles == [result["cycles"] for result in results]
+
+    def test_uncontended_sharing_rejected(self):
+        with pytest.raises(SystemExit, match="no dynamic contention"):
+            main(["mix", "ncf", "ncf", "--sharing", "Static"])
+
+    def test_max_ticks_safety_valve(self):
+        with pytest.raises(SystemExit, match="simulation aborted"):
+            main(["mix", "ncf", "ncf", "--max-ticks", "1000"])
+
+    def test_run_max_ticks_safety_valve(self, config_tree):
+        with pytest.raises(SystemExit, match="simulation aborted"):
+            main([
+                "run",
+                str(config_tree["arch_list"]),
+                str(config_tree["net_list"]),
+                str(config_tree["dram"]),
+                str(config_tree["npumem_list"]),
+                str(config_tree["out"]),
+                str(config_tree["misc"]),
+                "--max-ticks", "500",
+            ])
+
 
 class TestModelsCommand:
     def test_lists_all_models(self, capsys):
@@ -105,6 +141,17 @@ class TestFigureCommand:
     def test_unknown_figure_rejected(self, tmp_path):
         with pytest.raises(SystemExit, match="unknown figure"):
             main(["figure", "fig99", "--cache-dir", str(tmp_path)])
+
+    def test_jobs_flag_accepted(self, tmp_path):
+        # Still unknown-figure, but after --jobs parsing: the flag exists.
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main(["figure", "fig99", "--jobs", "4", "--cache-dir", str(tmp_path)])
+
+
+class TestSweepCommand:
+    def test_unknown_figures_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown figures"):
+            main(["sweep", "fig4", "fig99", "--cache-dir", str(tmp_path)])
 
 
 class TestTraceOption:

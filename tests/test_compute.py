@@ -5,7 +5,6 @@ import pytest
 from repro.compute.requestgen import RequestGenerator, Run
 from repro.compute.systolic import gemm_on_array, os_pass_cycles
 from repro.compute.tiling import (
-    Tile,
     TileShape,
     choose_tile_shape,
     tile_count,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config.dram import AddressMapping, DramConfig, DramTiming
+from repro.config.dram import DramConfig
 from repro.core.engine import Engine
 from repro.dram.channel import FR_WINDOW
 from repro.dram.controller import DramController

@@ -11,17 +11,34 @@ import pytest
 
 from repro.core.sharing import SharingLevel
 from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
 from repro.models import zoo
 
 
 class StubRunner:
-    """Deterministic fake: cycles derived from workload name + config."""
+    """Deterministic fake: cycles derived from workload name + config.
+
+    Planning is pure spec construction, so the stub borrows the real
+    runner's ``plan_*`` methods and stubs only the execution side:
+    ``run_many`` (the figures' prefetch hook) is a no-op and ``solo`` /
+    ``mix`` answer directly with synthetic cycles.
+    """
+
+    scale = "mini"
+    plan_solo = ExperimentRunner.plan_solo
+    plan_ideal = ExperimentRunner.plan_ideal
+    plan_static_equal = ExperimentRunner.plan_static_equal
+    plan_mix = ExperimentRunner.plan_mix
 
     def __init__(self):
         self.per_core = {"channels": 4, "num_ptw": 1, "tlb_entries": 64}
         self._base = {
             name: 1000 * (index + 1) for index, name in enumerate(zoo.NAMES)
         }
+
+    def run_many(self, specs, jobs=None, progress=None):
+        list(specs)  # planners must at least produce valid specs
+        return {}
 
     # -- solo ---------------------------------------------------------- #
     def solo(self, workload, *, channels=4, num_ptw=None, tlb_entries=None,

@@ -1,7 +1,5 @@
 """Unit tests for performance/fairness metrics (Equation 1 etc.)."""
 
-import math
-
 import pytest
 
 from repro.core.metrics import (

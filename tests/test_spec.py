@@ -1,0 +1,246 @@
+"""Tests for RunSpec descriptors and the parallel sharded run_many path."""
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.sharing import SharingLevel
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import RESULTS_VERSION, RunSpec
+from repro.models.layers import DenseLayer, Network
+
+
+def _tiny(name="tiny", dims=(16, 32, 16)):
+    return Network(name, (DenseLayer("l0", *dims),))
+
+
+class TestCacheKey:
+    def test_same_spec_same_key(self):
+        assert RunSpec.solo("ncf").cache_key() == RunSpec.solo("ncf").cache_key()
+
+    def test_equal_specs_are_interchangeable(self):
+        a = RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT)
+        b = RunSpec.mix(["ncf", "gpt2"], "DWT")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.cache_key() == b.cache_key()
+
+    def test_key_stable_across_processes(self):
+        spec = RunSpec.mix(("ncf", "gpt2"), SharingLevel.DW, page_bytes=65536)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(RunSpec.cache_key, spec).result()
+        assert remote == spec.cache_key()
+
+    def test_any_field_change_changes_key(self):
+        base = RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT)
+        variants = [
+            RunSpec.mix(("ncf", "ncf"), SharingLevel.DWT),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.D),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, page_bytes=65536),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, translation=False),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, scale="full"),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.D, ptw_split=(1, 3)),
+            dataclasses.replace(base, version=RESULTS_VERSION + 1),
+        ]
+        keys = {spec.cache_key() for spec in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_solo_descriptor_matches_legacy_format(self):
+        # The exact dict the pre-RunSpec runner hashed; cached results
+        # written by old versions must stay addressable.
+        assert RunSpec.solo("ncf").descriptor() == {
+            "version": RESULTS_VERSION,
+            "kind": "solo",
+            "scale": "mini",
+            "workload": "ncf",
+            "channels": 4,
+            "num_ptw": 1,
+            "tlb_entries": 64,
+            "page_bytes": 4096,
+            "translation": True,
+        }
+
+    def test_mix_descriptor_matches_legacy_format(self):
+        spec = RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT)
+        assert spec.descriptor() == {
+            "version": RESULTS_VERSION,
+            "kind": "mix",
+            "scale": "mini",
+            "workloads": ["ncf", "gpt2"],
+            "sharing": "DWT",
+            "page_bytes": 4096,
+            "translation": True,
+            "ptw_split": None,
+            "num_ptw_per_core": None,
+            "tlb_entries_per_core": None,
+        }
+
+    def test_unresolved_solo_refuses_key(self, tmp_path):
+        bare = RunSpec(kind="solo", workloads=("ncf",))
+        assert not bare.is_resolved
+        with pytest.raises(ValueError, match="unresolved"):
+            bare.cache_key()
+        resolved = ExperimentRunner(cache_dir=tmp_path).plan(bare)
+        assert resolved == RunSpec.solo("ncf")
+
+
+class TestValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            RunSpec(kind="duo", workloads=("ncf",))
+
+    def test_solo_takes_one_workload(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            RunSpec(kind="solo", workloads=("ncf", "gpt2"))
+
+    def test_solo_rejects_sharing(self):
+        with pytest.raises(ValueError, match="uncontended"):
+            RunSpec(kind="solo", workloads=("ncf",), sharing="DWT")
+
+    def test_mix_needs_sharing(self):
+        with pytest.raises(ValueError, match="sharing level"):
+            RunSpec(kind="mix", workloads=("ncf", "gpt2"))
+
+    def test_mix_rejects_uncontended_level(self):
+        with pytest.raises(ValueError, match="no dynamic contention"):
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.STATIC)
+
+    def test_mix_rejects_resource_slice(self):
+        with pytest.raises(ValueError, match="solo-only"):
+            RunSpec(kind="mix", workloads=("ncf", "gpt2"), sharing="DWT", channels=8)
+
+    def test_ptw_split_arity(self):
+        with pytest.raises(ValueError, match="per core"):
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.D, ptw_split=(1,))
+
+    def test_system_round_trip(self):
+        solo = RunSpec.ideal("ncf", 2).system()
+        assert len(solo.arch) == 1
+        assert solo.dram.channels == 8
+        assert solo.npumem[0].num_ptw == 2
+        mix = RunSpec.mix(("ncf", "gpt2"), SharingLevel.DW).system()
+        assert len(mix.arch) == 2
+        assert mix.share_dram and mix.share_ptw and not mix.share_tlb
+        assert mix.misc.iterations == 1
+        split = RunSpec.mix(
+            ("ncf", "gpt2"), SharingLevel.D, ptw_split=(1, 3), num_ptw_per_core=2
+        ).system()
+        assert not split.share_ptw
+        assert split.ptw_assignment == (1, 3)
+        assert split.npumem[0].num_ptw == 2
+
+
+def _sweep_specs(runner, dims=(16, 32, 16)):
+    """A small dual-mix sweep (8 unique cold specs) over registered nets."""
+    for name in ("wa", "wb"):
+        runner.register_network(_tiny(name, dims))
+    specs = [
+        runner.plan_mix(("wa", "wb"), level)
+        for level in (SharingLevel.D, SharingLevel.DW, SharingLevel.DWT)
+    ]
+    specs += [
+        runner.plan_mix(("wa", "wa"), SharingLevel.DWT),
+        runner.plan_mix(("wb", "wb"), SharingLevel.DWT),
+        runner.plan_solo("wa"),
+        runner.plan_solo("wb"),
+        runner.plan_ideal("wa", 2),
+    ]
+    return specs
+
+
+class TestRunMany:
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        serial = ExperimentRunner(cache_dir=tmp_path / "serial")
+        parallel = ExperimentRunner(cache_dir=tmp_path / "parallel")
+        serial_results = serial.run_many(_sweep_specs(serial), jobs=1)
+        parallel_results = parallel.run_many(_sweep_specs(parallel), jobs=4)
+        assert serial_results == parallel_results
+        assert serial.runs_executed == parallel.runs_executed == 8
+        serial_files = sorted(p.name for p in serial.cache_dir.iterdir())
+        parallel_files = sorted(p.name for p in parallel.cache_dir.iterdir())
+        assert serial_files == parallel_files
+        for name in serial_files:
+            assert (serial.cache_dir / name).read_bytes() == (
+                parallel.cache_dir / name
+            ).read_bytes()
+
+    def test_batch_is_deduplicated(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        specs = _sweep_specs(runner)
+        results = runner.run_many(specs + list(reversed(specs)), jobs=1)
+        assert runner.runs_executed == len(results) == len(set(specs))
+
+    def test_second_batch_is_all_cache_hits(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        first = runner.run_many(_sweep_specs(runner), jobs=1)
+        events = []
+        again = runner.run_many(_sweep_specs(runner), jobs=4, progress=events.append)
+        assert again == first
+        assert runner.runs_executed == 8
+        # One summary event: everything completed before any cold run.
+        assert [e.completed for e in events] == [8]
+        assert events[0].cache_hits == 8
+
+    def test_progress_reports_every_completion(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        events = []
+        runner.run_many(_sweep_specs(runner), jobs=1, progress=events.append)
+        # Initial summary + one event per cold run, monotonically complete.
+        assert [e.completed for e in events] == list(range(9))
+        assert events[-1].total == 8
+        assert all(e.spec is not None for e in events[1:])
+
+    def test_wrappers_agree_with_run_many(self, tmp_path):
+        batch = ExperimentRunner(cache_dir=tmp_path / "a")
+        legacy = ExperimentRunner(cache_dir=tmp_path / "b")
+        results = batch.run_many(_sweep_specs(batch), jobs=4)
+        for name in ("wa", "wb"):
+            legacy.register_network(_tiny(name))
+        assert legacy.solo("wa") == results[batch.plan_solo("wa")][0]
+        assert legacy.ideal("wa", 2) == results[batch.plan_ideal("wa", 2)][0]
+        assert (
+            legacy.mix(("wa", "wb"), SharingLevel.DWT)
+            == results[batch.plan_mix(("wa", "wb"), SharingLevel.DWT)]
+        )
+
+    def test_figure_planner_prefetches_everything(self, tmp_path, monkeypatch):
+        # After one run_many over the planner's specs, the reducer must
+        # be served entirely from cache: zero additional cold runs.
+        from repro.experiments import figures
+        from repro.models import zoo
+
+        monkeypatch.setattr(zoo, "NAMES", ("wa", "wb"))
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        for name in ("wa", "wb"):
+            runner.register_network(_tiny(name))
+        mixes = [("wa", "wa"), ("wa", "wb")]
+        runner.run_many(figures.sharing_sweep_specs(runner, 2, mixes), jobs=1)
+        executed = runner.runs_executed
+        data = figures.fig4_dual_performance(runner, mixes)
+        assert runner.runs_executed == executed
+        assert set(data["overall"]) == {"Static", "+D", "+DW", "+DWT"}
+
+    @pytest.mark.skipif(
+        len(os.sched_getaffinity(0)) < 2,
+        reason="parallel speedup needs at least two CPUs",
+    )
+    def test_parallel_beats_serial_on_cold_cache(self, tmp_path):
+        # Heavy enough that per-run simulation dwarfs pool startup.
+        dims = (512, 512, 512)
+        serial = ExperimentRunner(cache_dir=tmp_path / "serial")
+        begin = time.monotonic()
+        serial_results = serial.run_many(_sweep_specs(serial, dims), jobs=1)
+        serial_elapsed = time.monotonic() - begin
+        parallel = ExperimentRunner(cache_dir=tmp_path / "parallel")
+        begin = time.monotonic()
+        parallel_results = parallel.run_many(_sweep_specs(parallel, dims), jobs=4)
+        parallel_elapsed = time.monotonic() - begin
+        assert parallel_results == serial_results
+        assert parallel_elapsed < serial_elapsed * 0.8, (
+            f"jobs=4 took {parallel_elapsed:.2f}s vs "
+            f"serial {serial_elapsed:.2f}s on a cold 8-run sweep"
+        )
