@@ -1,0 +1,143 @@
+"""Single-run hot-loop benchmark: wall-clock and events/second.
+
+Unlike the ``bench_fig*`` modules (which regenerate paper figures through
+the result cache), this is a *performance* harness: it simulates a fixed
+scenario set end to end — no caching — and records wall-clock seconds,
+engine events processed, and events per second to ``BENCH_hotloop.json``
+at the repository root.
+
+The JSON keeps two measurement sets: ``baseline`` (recorded once, before
+an optimization lands, with ``--set-baseline``) and ``current`` (refreshed
+on every run).  The per-scenario ``speedup`` section is
+``baseline_wall / current_wall``, so the perf trajectory of the hot path
+is data, not anecdote.  Golden-equivalence tests
+(``tests/test_golden_equivalence.py``) gate that the speed came from
+mechanical work, not changed results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_loop.py            # refresh current
+    PYTHONPATH=src python benchmarks/bench_hot_loop.py --repeats 5
+    PYTHONPATH=src python benchmarks/bench_hot_loop.py --set-baseline
+    PYTHONPATH=src python benchmarks/bench_hot_loop.py --quick    # CI smoke (1 repeat)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.spec import RunSpec
+from repro.models import zoo
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hotloop.json"
+MAX_TICKS = 50_000_000_000
+
+#: Scenarios span the hot path's regimes: the flagship contended mix
+#: (walk traffic + walk priority + refresh), a translation-off mix (the
+#: streaming regime where batched FR-FCFS issue applies), and a bandwidth-
+#: starved single-channel solo (deep queues, long drains).
+SCENARIOS: dict[str, tuple[str, RunSpec]] = {
+    "mix_dwt": (
+        "dual-core ncf+dlrm, fully shared (+DWT), translation on",
+        RunSpec.mix(("ncf", "dlrm"), "DWT", scale="mini"),
+    ),
+    "mix_d_notrans": (
+        "dual-core ncf+dlrm, shared DRAM (+D), translation off",
+        RunSpec.mix(("ncf", "dlrm"), "D", scale="mini", translation=False),
+    ),
+    "solo_1ch_stream": (
+        "dlrm alone on one channel, translation off (streaming)",
+        RunSpec.solo("dlrm", scale="mini", channels=1, translation=False),
+    ),
+}
+
+
+def measure(spec: RunSpec, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock for one cold simulation of ``spec``."""
+    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    best_wall = None
+    events = 0
+    total_ticks = 0
+    requests = 0
+    for _ in range(repeats):
+        sim = MultiCoreNPUSim(spec.system(), networks)
+        start = time.perf_counter()
+        result = sim.run(max_ticks=MAX_TICKS)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        events = sim.engine.events_processed
+        total_ticks = result.total_ticks
+        requests = result.dram.reads + result.dram.writes
+    return {
+        "wall_seconds": round(best_wall, 6),
+        "events_processed": events,
+        "events_per_second": round(events / best_wall, 1),
+        "total_ticks": total_ticks,
+        "dram_requests": requests,
+    }
+
+
+def run_benchmarks(repeats: int) -> dict[str, dict]:
+    results = {}
+    for name, (description, spec) in SCENARIOS.items():
+        results[name] = measure(spec, repeats)
+        results[name]["description"] = description
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--quick", action="store_true", help="one repeat (CI smoke)")
+    parser.add_argument(
+        "--set-baseline",
+        action="store_true",
+        help="record this run as the pre-optimization baseline",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else max(1, args.repeats)
+
+    current = run_benchmarks(repeats)
+    data = {}
+    if args.out.exists():
+        data = json.loads(args.out.read_text())
+    if args.set_baseline or "baseline" not in data:
+        data["baseline"] = current
+    data["current"] = current
+    data["speedup"] = {
+        name: round(
+            data["baseline"][name]["wall_seconds"] / current[name]["wall_seconds"], 3
+        )
+        for name in current
+        if name in data["baseline"]
+    }
+    data["meta"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    args.out.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+
+    width = max(len(name) for name in current)
+    print(f"{'scenario':{width}}  {'wall (s)':>9}  {'events/s':>12}  {'speedup':>8}")
+    for name, result in current.items():
+        speedup = data["speedup"].get(name)
+        print(
+            f"{name:{width}}  {result['wall_seconds']:>9.3f}  "
+            f"{result['events_per_second']:>12,.0f}  "
+            f"{speedup if speedup is not None else '-':>8}"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

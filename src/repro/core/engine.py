@@ -17,10 +17,11 @@ from typing import Callable
 class Engine:
     """A minimal, fast event loop over integer time."""
 
-    __slots__ = ("now", "_queue", "_seq")
+    __slots__ = ("now", "events_processed", "_queue", "_seq")
 
     def __init__(self) -> None:
         self.now: int = 0
+        self.events_processed: int = 0
         self._queue: list[tuple[int, int, Callable[[], None]]] = []
         self._seq: int = 0
 
@@ -45,13 +46,16 @@ class Engine:
         when testing potentially-livelocked configurations.
         """
         queue = self._queue
+        processed = 0
         while queue:
             time, _, fn = queue[0]
             if until is not None and time > until:
                 break
             heapq.heappop(queue)
             self.now = time
+            processed += 1
             fn()
+        self.events_processed += processed
         return self.now
 
     @property

@@ -1,0 +1,166 @@
+"""Golden-equivalence suite: exact results pinned for a corpus of small runs.
+
+Every hot-path optimization of the simulator must be *observationally
+equivalent*: the corpus below — solo and mix runs across private/shared
+TLBs, 1/2/8-channel DRAM, translation on/off — is simulated end to end
+and every integer metric (cycles, row hits/misses, walks, traffic bytes,
+refreshes, queueing ticks) is asserted **exactly** against the committed
+goldens in ``tests/golden/expected.json``.  The experiment-runner cache
+shard for each spec must additionally stay **byte-identical** (pinned by
+sha256), which covers the full serialized result including floats.
+
+Refreshing goldens is an intentional, reviewed act (only when simulator
+*semantics* change, never for a performance patch):
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/test_golden_equivalence.py -q
+
+and commit the resulting ``tests/golden/expected.json`` alongside an
+explanation of the semantic change (see DESIGN.md, "Performance
+methodology").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import RunSpec
+from repro.models import zoo
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "expected.json"
+
+#: The pinned corpus.  Keep these *small* (the whole suite simulates each
+#: twice — once directly, once through the runner — in a few seconds) but
+#: diverse: private vs shared TLB, 1/2/8 DRAM channels, translation
+#: on/off, walk-priority traffic present and absent.
+CORPUS: tuple[tuple[str, RunSpec], ...] = (
+    ("solo-ncf-4ch", RunSpec.solo("ncf", scale="mini")),
+    ("solo-ncf-2ch", RunSpec.solo("ncf", scale="mini", channels=2)),
+    (
+        "solo-dlrm-1ch-notrans",
+        RunSpec.solo("dlrm", scale="mini", channels=1, translation=False),
+    ),
+    ("mix-ncf-dlrm-D", RunSpec.mix(("ncf", "dlrm"), "D", scale="mini")),
+    ("mix-ncf-dlrm-DWT", RunSpec.mix(("ncf", "dlrm"), "DWT", scale="mini")),
+    ("mix-dlrm-dlrm-DW", RunSpec.mix(("dlrm", "dlrm"), "DW", scale="mini")),
+)
+
+CORPUS_IDS = [name for name, _ in CORPUS]
+MAX_TICKS = 50_000_000_000
+
+
+def snapshot(spec: RunSpec, cache_dir: Path) -> dict:
+    """Simulate ``spec`` and capture every pinned observable.
+
+    Integer metrics come from a direct :class:`MultiCoreNPUSim` run; the
+    cache shard (and its hash) from an :class:`ExperimentRunner` run of
+    the same spec into ``cache_dir``.
+    """
+    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    sim = MultiCoreNPUSim(spec.system(), networks)
+    mix = sim.run(max_ticks=MAX_TICKS)
+    runner = ExperimentRunner(scale=spec.scale, cache_dir=cache_dir)
+    runner.run(spec)
+    shard = (cache_dir / f"{spec.cache_key()}.json").read_bytes()
+    return {
+        "cache_key": spec.cache_key(),
+        "shard_sha256": hashlib.sha256(shard).hexdigest(),
+        "total_ticks": mix.total_ticks,
+        "dram": {
+            "reads": mix.dram.reads,
+            "writes": mix.dram.writes,
+            "row_hits": mix.dram.row_hits,
+            "row_misses": mix.dram.row_misses,
+            "refreshes": mix.dram.refreshes,
+            "queueing_ticks_total": mix.dram.queueing_ticks_total,
+            "bytes_per_core": {
+                str(core): count
+                for core, count in sorted(mix.dram.bytes_per_core.items())
+            },
+        },
+        "workloads": [
+            {
+                "workload": result.workload,
+                "core": result.core,
+                "cycles": result.cycles,
+                "ticks": result.ticks,
+                "traffic_bytes": result.traffic_bytes,
+                "tlb_lookups": result.tlb_lookups,
+                "tlb_misses": result.tlb_misses,
+                "walks": result.walks,
+                "completed_iterations": result.completed_iterations,
+                "layer_cycles": list(result.layer_cycles),
+            }
+            for result in mix.workloads
+        ],
+    }
+
+
+@pytest.fixture(scope="module")
+def snapshots(tmp_path_factory) -> dict[str, dict]:
+    cache_root = tmp_path_factory.mktemp("golden-cache")
+    computed = {}
+    for name, spec in CORPUS:
+        cache_dir = cache_root / name
+        cache_dir.mkdir()
+        computed[name] = snapshot(spec, cache_dir)
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(computed, indent=1, sort_keys=True) + "\n")
+    return computed
+
+
+@pytest.fixture(scope="module")
+def expected() -> dict[str, dict]:
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        pytest.skip("regenerating goldens; assertions deferred to the next run")
+    if not GOLDEN_PATH.exists():
+        pytest.fail(
+            "tests/golden/expected.json is missing; regenerate with "
+            "REPRO_REGEN_GOLDENS=1 (see module docstring)"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", CORPUS_IDS)
+def test_metrics_match_golden_exactly(name, snapshots, expected):
+    assert name in expected, f"no golden recorded for corpus entry {name!r}"
+    golden = dict(expected[name])
+    got = dict(snapshots[name])
+    golden.pop("shard_sha256")
+    got.pop("shard_sha256")
+    assert got == golden
+
+
+@pytest.mark.parametrize("name", CORPUS_IDS)
+def test_cache_shard_byte_identical(name, snapshots, expected):
+    assert name in expected, f"no golden recorded for corpus entry {name!r}"
+    assert snapshots[name]["shard_sha256"] == expected[name]["shard_sha256"]
+    assert snapshots[name]["cache_key"] == expected[name]["cache_key"]
+
+
+def test_corpus_covers_required_axes():
+    """The corpus must keep exercising the axes the goldens exist to pin."""
+    specs = dict(CORPUS)
+    channel_counts = set()
+    for spec in specs.values():
+        system = spec.system()
+        channel_counts.add(system.dram.channels)
+    assert len(specs) >= 4
+    assert {1, 2} <= channel_counts, "need 1- and 2-channel DRAM configs"
+    assert any(s.kind == "mix" and s.sharing == "DWT" for s in specs.values()), (
+        "need a shared-TLB mix"
+    )
+    assert any(s.kind == "mix" and s.sharing in ("D", "DW") for s in specs.values()), (
+        "need a private-TLB mix"
+    )
+    assert any(not s.translation for s in specs.values()), (
+        "need a translation-off config (no walk traffic)"
+    )
