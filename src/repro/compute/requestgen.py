@@ -38,6 +38,15 @@ _SCATTER_SPREAD = 4
 #: table region deterministically.
 _HASH_MULT = 0x9E3779B1
 
+#: Generated tile traffic is memoized and replayed on later iterations —
+#: cores re-run their workload until the slowest finishes, and traffic
+#: generation is deterministic, so regenerating it per iteration is pure
+#: overhead.  The memo stops growing once it holds this many objects
+#: (tiles + runs) across all layers, so full-scale workloads keep the
+#: original stream-and-discard behavior instead of materializing
+#: gigabytes of request lists.
+_TILE_CACHE_MAX_OBJECTS = 1 << 20
+
 
 @dataclass(frozen=True)
 class Run:
@@ -124,6 +133,9 @@ class RequestGenerator:
                 )
             )
         self._va_end = cursor
+        self._tile_cache: dict[int, tuple[TileTraffic, ...]] = {}
+        self._cache_budget = _TILE_CACHE_MAX_OBJECTS
+        self._summary: dict[str, float] | None = None
 
     # ------------------------------------------------------------------ #
     # Layout / summary queries
@@ -150,6 +162,8 @@ class RequestGenerator:
         of section 4.6 consumes: PE utilization in the memory-ideal case,
         memory traffic per execution, and the ideal execution length.
         """
+        if self._summary is not None:
+            return dict(self._summary)
         total_macs = 0
         total_cycles = 0
         read_txns = 0
@@ -161,7 +175,7 @@ class RequestGenerator:
                 read_txns += traffic.read_txns
                 write_txns += traffic.write_txns
         traffic_bytes = (read_txns + write_txns) * self._txn
-        return {
+        self._summary = {
             "macs": float(total_macs),
             "ideal_compute_cycles": float(total_cycles),
             "pe_utilization": total_macs / (total_cycles * self.arch.num_pes),
@@ -170,13 +184,28 @@ class RequestGenerator:
             "traffic_bytes": float(traffic_bytes),
             "bytes_per_cycle": traffic_bytes / total_cycles,
         }
+        return dict(self._summary)
 
     # ------------------------------------------------------------------ #
     # Traffic generation
     # ------------------------------------------------------------------ #
 
     def layer_tiles(self, layer_index: int) -> Iterator[TileTraffic]:
-        """Yield the tile traffic of one layer, in execution order."""
+        """Yield the tile traffic of one layer, in execution order.
+
+        Generation is deterministic, so fully-consumed layers are served
+        from a bounded memo on later iterations (the objects are frozen;
+        replaying them is indistinguishable from regenerating).
+        """
+        cached = self._tile_cache.get(layer_index)
+        if cached is not None:
+            return iter(cached)
+        return self._generate_layer_tiles(layer_index)
+
+    def _generate_layer_tiles(self, layer_index: int) -> Iterator[TileTraffic]:
+        collected: list[TileTraffic] | None = (
+            [] if self._cache_budget > 0 else None
+        )
         layout = self._layouts[layer_index]
         gemm = layout.gemm
         for tile in tiles_for_gemm(gemm, layout.shape):
@@ -207,13 +236,25 @@ class RequestGenerator:
                         layout.c_base, gemm.n, tile.m0, tile.tm, tile.n0, tile.tn, write=True
                     )
                 )
-            yield TileTraffic(
+            traffic = TileTraffic(
                 layer_index=layer_index,
                 tile=tile,
                 reads=tuple(reads),
                 writes=writes,
                 compute=gemm_on_array(self.arch, tile.tm, tile.tk, tile.tn),
             )
+            if collected is not None:
+                collected.append(traffic)
+            yield traffic
+        # Only a generator consumed to exhaustion may populate the memo —
+        # an abandoned iteration would cache a truncated layer.
+        if collected is not None and layer_index not in self._tile_cache:
+            cost = sum(
+                1 + len(t.reads) + len(t.writes) for t in collected
+            )
+            if cost <= self._cache_budget:
+                self._cache_budget -= cost
+                self._tile_cache[layer_index] = tuple(collected)
 
     def all_tiles(self) -> Iterator[TileTraffic]:
         """Yield every tile of every layer, in execution order."""

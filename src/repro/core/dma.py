@@ -36,13 +36,16 @@ class DmaStats:
 
 
 class _Transfer:
-    __slots__ = ("txns", "issued_all", "outstanding", "on_complete")
+    __slots__ = ("txns", "issued_all", "outstanding", "on_complete", "complete")
 
     def __init__(self, txns: Iterator[tuple[int, bool]], on_complete: Callable[[], None]):
         self.txns = txns
         self.issued_all = False
         self.outstanding = 0
         self.on_complete = on_complete
+        #: Per-transaction DRAM completion callback, built once by the
+        #: owning engine instead of once per transaction.
+        self.complete: Callable[[], None] | None = None
 
 
 class DmaEngine:
@@ -77,6 +80,15 @@ class DmaEngine:
         self._outstanding = 0
         self._next_issue_at = 0
         self._pump_scheduled = False
+        # With translation off the MMU is pure function application; bind
+        # the page table's mapping once and skip the front-end per txn.
+        self._paddr = mmu.direct_paddr(core)
+        # Per-transaction call targets bound once: ``self.dram.submit``
+        # and ``self.mmu.probe`` would cost two attribute hops plus a
+        # bound-method allocation on every pump; ``self._pump`` likewise.
+        self._dram_submit = dram.submit
+        self._mmu_probe = mmu.probe
+        self._pump_cb = self._pump
         self.stats = DmaStats()
 
     # ------------------------------------------------------------------ #
@@ -86,7 +98,9 @@ class DmaEngine:
         if not runs:
             self.engine.after(0, on_complete)
             return
-        self._active.append(_Transfer(self._expand(runs), on_complete))
+        transfer = _Transfer(self._expand(runs), on_complete)
+        transfer.complete = lambda: self._complete(transfer)
+        self._active.append(transfer)
         self._schedule_pump(max(self.engine.now, self._next_issue_at))
 
     @property
@@ -106,49 +120,70 @@ class DmaEngine:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
-        self.engine.at(max(time, self.engine.now), self._pump)
+        self.engine.at(max(time, self.engine.now), self._pump_cb)
 
     def _pump(self) -> None:
         self._pump_scheduled = False
-        if not self._active:
+        active = self._active
+        if not active:
             return
         if self._outstanding >= self.max_outstanding:
             self.stats.stall_events += 1
             return  # a completion will restart the pump
-        transfer = self._active[0]
+        transfer = active[0]
         step = next(transfer.txns, None)
         if step is None:
             transfer.issued_all = True
-            self._active.popleft()
+            active.popleft()
             if transfer.outstanding == 0:
                 transfer.on_complete()
-            if self._active:
+            if active:
                 self._schedule_pump(self._next_issue_at)
             return
         vaddr, write = step
         transfer.outstanding += 1
         self._outstanding += 1
+        stats = self.stats
         if write:
-            self.stats.write_txns += 1
+            stats.write_txns += 1
         else:
-            self.stats.read_txns += 1
-        paddr = self.mmu.translate(
-            self.core, vaddr, lambda p, t=transfer, w=write: self._submit(p, w, t)
-        )
-        if paddr is not None:
-            self._submit(paddr, write, transfer)
-        self._next_issue_at = self.engine.now + self._issue_gap
-        self._schedule_pump(self._next_issue_at)
+            stats.read_txns += 1
+        core = self.core
+        paddr_fn = self._paddr
+        if paddr_fn is not None:
+            self._dram_submit(core, paddr_fn(vaddr), write, transfer.complete)
+        else:
+            paddr = self._mmu_probe(core, vaddr)
+            if paddr is not None:
+                self._dram_submit(core, paddr, write, transfer.complete)
+            else:
+                # Cold path: only a miss pays for a continuation closure.
+                self.mmu.miss(
+                    self.core,
+                    vaddr,
+                    lambda p, t=transfer, w=write: self._submit(p, w, t),
+                )
+        # Nothing in the submit path re-arms the pump synchronously, and
+        # the issue gap is >= 1 tick, so schedule the next issue directly.
+        engine = self.engine
+        time = engine.now + self._issue_gap
+        self._next_issue_at = time
+        self._pump_scheduled = True
+        engine.at(time, self._pump_cb)
 
     def _submit(self, paddr: int, write: bool, transfer: _Transfer) -> None:
-        self.dram.submit(
-            self.core, paddr, write, lambda: self._complete(transfer)
-        )
+        self.dram.submit(self.core, paddr, write, transfer.complete)
 
     def _complete(self, transfer: _Transfer) -> None:
         self._outstanding -= 1
         transfer.outstanding -= 1
         if transfer.issued_all and transfer.outstanding == 0:
             transfer.on_complete()
-        if self._active:
-            self._schedule_pump(max(self.engine.now, self._next_issue_at))
+        # Inline of ``_schedule_pump(max(now, _next_issue_at))`` — this
+        # runs once per transaction.
+        if self._active and not self._pump_scheduled:
+            self._pump_scheduled = True
+            engine = self.engine
+            time = self._next_issue_at
+            now = engine.now
+            engine.at(time if time > now else now, self._pump_cb)

@@ -114,6 +114,9 @@ class MultiCoreNPUSim:
         self._txn_bytes = txn_bytes.pop()
         trace_window = system.misc.trace_window_cycles if trace_bandwidth else None
         self.tracer = TraceLogger() if trace_requests else None
+        walk_traffic = any(cfg.translation_enabled for cfg in system.npumem) and all(
+            cfg.walk_in_dram for cfg in system.npumem
+        )
         self.dram = DramController(
             system.dram,
             self.engine,
@@ -121,6 +124,7 @@ class MultiCoreNPUSim:
             channels_per_core={core: system.channels_for_core(core) for core in cores},
             trace_window_ticks=trace_window,
             logger=self.tracer,
+            expect_walks=walk_traffic,
         )
 
         self.clocks = {

@@ -136,25 +136,25 @@ class TraceLogger:
         )
         written.append(dramreq_log)
 
-        for core in self.cores():
-            tlb_log = directory / f"tlb{core}.log"
-            tlb_log.write_text(
-                "".join(
-                    f"{e.tick} 0x{e.vpn:x} {e.outcome}\n"
-                    for e in self.tlb
-                    if e.core == core
-                )
+        # Group both logs by core in one pass each (rescanning the full
+        # logs per core would be O(entries x cores)).
+        tlb_by_core: dict[int, list[str]] = {}
+        for e in self.tlb:
+            tlb_by_core.setdefault(e.core, []).append(
+                f"{e.tick} 0x{e.vpn:x} {e.outcome}\n"
             )
+        ptw_by_core: dict[int, list[str]] = {}
+        for e in self.ptw:
+            ptw_by_core.setdefault(e.core, []).append(
+                f"{e.enqueue_tick} {e.start_tick} {e.end_tick} "
+                f"0x{e.vpn:x} {e.dram_reads}\n"
+            )
+        for core in sorted(tlb_by_core.keys() | ptw_by_core.keys()):
+            tlb_log = directory / f"tlb{core}.log"
+            tlb_log.write_text("".join(tlb_by_core.get(core, ())))
             written.append(tlb_log)
             ptw_log = directory / f"tlb{core}_ptw.log"
-            ptw_log.write_text(
-                "".join(
-                    f"{e.enqueue_tick} {e.start_tick} {e.end_tick} "
-                    f"0x{e.vpn:x} {e.dram_reads}\n"
-                    for e in self.ptw
-                    if e.core == core
-                )
-            )
+            ptw_log.write_text("".join(ptw_by_core.get(core, ())))
             written.append(ptw_log)
         return written
 

@@ -7,10 +7,49 @@ bounded reordering window.  Bank state machines enforce tRCD/tRP/tRAS/
 tCCD/tWR; the channel's single data bus serializes bursts, which is what
 caps a channel at its peak bandwidth.  Periodic all-bank refresh blocks
 the channel for tRFC every tREFI.
+
+Hot-path design — batched issue with credit kicks.  The baseline
+scheduler issues one request per engine event and reschedules itself at
+``t' = max(now + 1, data_end - burst)``.  When the bus is saturated the
+issue *time* is immaterial: ``data_start = max(col_ready + tCL,
+bus_free_at, now)`` and every such ``t'`` is <= ``bus_free_at``, so the
+``now`` term never binds.  ``_kick`` therefore drains a run of requests
+in one event, advancing a *virtual* kick time, as long as each step is
+provably identical to what per-event scheduling would have done:
+
+* the virtual kick time must stay short of ``next_refresh_at`` (a real
+  kick would have refreshed instead of issuing);
+* the selection must be *arrival-stable* — no request arriving after the
+  real kick could have won it.  New arrivals append at the queue tail,
+  so a selected walk is stable (walks are scanned front-to-back), a
+  row-hit found in the reorder window is stable (the window is scanned
+  front-to-back and bank state only changes with our own issues), and
+  the oldest-request fallback is stable only when the queue already
+  fills the reorder window.  If prioritized walk traffic is possible at
+  all (``expect_walks``), any non-walk selection can be preempted by an
+  arriving walk and ends the batch.
+
+Draining alone is not enough for exact equivalence: under per-event
+scheduling each kick — including kicks pulled forward by arrivals and
+stale kicks left in the event heap — issues exactly one request, so the
+*number* of kicks that have fired bounds how far the queue has advanced
+at any instant.  If the drain consumed that progress up front, a kick
+arriving mid-batch would issue the first *un*-drained request early and
+diverge.  The drain therefore banks one *credit* per pre-issued request
+(beyond the first): the burst's completion callback and the follow-on
+kick time are deferred onto ``_chain``, and every kick that fires while
+credits remain pops one entry and performs exactly the bookkeeping the
+per-event kick would have done — push the completion callback, schedule
+the next kick.  The event-push sequence, and with it every same-tick
+ordering downstream, is identical to the baseline's.  The deferred kick
+times themselves are kick-time-independent (``data_end - burst`` exceeds
+any possible real kick time once ``burst_ticks >= 2``, the condition
+under which batching engages).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -21,8 +60,12 @@ from repro.dram.stats import DramStats
 #: How deep into the queue FR-FCFS may reorder to find a row hit.
 FR_WINDOW = 16
 
+#: Batched FR-FCFS issue (see module docstring).  Module-level so the
+#: equivalence tests can A/B the per-event and batched schedulers.
+BATCH_ISSUE = True
 
-@dataclass
+
+@dataclass(slots=True, eq=False)
 class DramRequest:
     """One transaction presented to the memory system.
 
@@ -70,26 +113,61 @@ class Channel:
     #: controller to build per-core bandwidth traces (Figures 2b and 12).
     trace: Callable[[int, int, int], None] | None = None
     transaction_bytes: int = 64
+    #: Whether prioritized page-table-walk traffic can reach this channel
+    #: at all (translation enabled and walks routed through DRAM).  When
+    #: False, batched issue need not fear walk preemption.
+    expect_walks: bool = True
 
     banks: list[Bank] = field(init=False)
     queue: list[DramRequest] = field(init=False, default_factory=list)
     bus_free_at: int = field(init=False, default=0)
     next_refresh_at: int = field(init=False)
     _kick_at: int | None = field(init=False, default=None)
+    _pending_walks: int = field(init=False, default=0)
+    _walk_preempt: bool = field(init=False)
+    _batch: bool = field(init=False)
+    #: Deferred bookkeeping of pre-issued requests, one ``(data_end,
+    #: callback, next_kick_time)`` credit per drained issue beyond the
+    #: first (see module docstring).
+    _chain: deque = field(init=False, default_factory=deque)
+    _kick_cb: Callable[[], None] = field(init=False)
 
     def __post_init__(self) -> None:
         self.banks = [Bank() for _ in range(self.cfg.banks_per_channel)]
         # Stagger refresh across channels so they do not blink in lockstep.
         offset = (self.index * self.cfg.timing.tREFI) // max(1, self.cfg.channels)
         self.next_refresh_at = self.cfg.timing.tREFI + offset
+        self._walk_preempt = self.cfg.prioritize_walks and self.expect_walks
+        self._batch = BATCH_ISSUE and self.burst_ticks >= 2
+        # One bound method, reused for every scheduling push (``self._kick``
+        # would allocate a fresh bound method per transaction).
+        self._kick_cb = self._kick
+        # Immutable config pulled into flat attributes: ``_issue`` and
+        # ``_select_index`` run once per transaction.
+        timing = self.cfg.timing
+        self._tRCD = timing.tRCD
+        self._tRP = timing.tRP
+        self._tRAS = timing.tRAS
+        self._tCCD = timing.tCCD
+        self._tWR = timing.tWR
+        self._tCL = timing.tCL
+        self._prioritize = self.cfg.prioritize_walks
+        self._refresh_on = self.cfg.refresh_enabled
 
     # ------------------------------------------------------------------ #
 
     def enqueue(self, request: DramRequest) -> None:
         """Accept a request into the channel queue and ensure scheduling."""
-        request.enqueue_time = self.engine.now
+        now = self.engine.now
+        request.enqueue_time = now
         self.queue.append(request)
-        self._ensure_kick(self.engine.now)
+        if request.is_walk:
+            self._pending_walks += 1
+        # Inline of ``_ensure_kick(now)`` — this runs once per transaction.
+        kick_at = self._kick_at
+        if kick_at is None or kick_at > now:
+            self._kick_at = now
+            self.engine.at(now, self._kick_cb)
 
     @property
     def occupancy(self) -> int:
@@ -103,23 +181,75 @@ class Channel:
         if self._kick_at is not None and self._kick_at <= time:
             return
         self._kick_at = time
-        self.engine.at(time, self._kick)
+        self.engine.at(time, self._kick_cb)
 
     def _kick(self) -> None:
         self._kick_at = None
-        if not self.queue:
+        engine = self.engine
+        chain = self._chain
+        if chain:
+            # Credit kick: a batched drain pre-issued the request this
+            # kick would have issued under per-event scheduling.  Replay
+            # the bookkeeping that kick would have done — push the
+            # completion callback and the follow-on kick — so the event
+            # pushes and the kick supply stay identical to the baseline.
+            # (The baseline only reschedules while its queue still holds
+            # requests; the pre-issued ones it would still hold are
+            # exactly the remaining chain entries.)
+            data_end, callback, next_time = chain.popleft()
+            engine.at(data_end, callback)
+            if chain or self.queue:
+                # ``_kick_at`` is None here (cleared on entry), so the
+                # dedup check in ``_ensure_kick`` would always pass.
+                self._kick_at = next_time
+                engine.at(next_time, self._kick_cb)
             return
-        now = self.engine.now
-        if self.cfg.refresh_enabled and now >= self.next_refresh_at:
+        queue = self.queue
+        if not queue:
+            return
+        now = engine.now
+        refresh = self._refresh_on
+        if refresh and now >= self.next_refresh_at:
             self._refresh(now)
             return
-        request = self._select()
+        burst = self.burst_ticks
+        index, _ = self._select_index()
+        request = queue[index]
+        if request.is_walk:
+            self._pending_walks -= 1
         data_end = self._issue(request, now)
-        self.queue.remove(request)
-        if self.queue:
-            # The next issue decision happens when the bus commits to this
-            # burst; bank preparation of the next request overlaps it.
-            self._ensure_kick(max(now + 1, data_end - self.burst_ticks))
+        engine.at(data_end, request.callback)
+        del queue[index]
+        if not queue:
+            return
+        # The next issue decision happens when the bus commits to this
+        # burst; bank preparation of the next request overlaps it.
+        next_time = data_end - burst
+        if next_time <= now:
+            next_time = now + 1
+        if self._batch and not (refresh and next_time >= self.next_refresh_at):
+            # Drain ahead at virtual kick times while each selection is
+            # arrival-stable, banking one credit per pre-issued request.
+            virtual = next_time
+            while True:
+                index, stable = self._select_index()
+                if not stable:
+                    break
+                request = queue[index]
+                if request.is_walk:
+                    self._pending_walks -= 1
+                data_end = self._issue(request, now)
+                del queue[index]
+                after = data_end - burst
+                if after <= virtual:
+                    after = virtual + 1
+                chain.append((data_end, request.callback, after))
+                if not queue or (refresh and after >= self.next_refresh_at):
+                    break
+                virtual = after
+        # Direct push: ``_kick_at`` is None and ``next_time > now``.
+        self._kick_at = next_time
+        engine.at(next_time, self._kick_cb)
 
     def _refresh(self, now: int) -> None:
         """Perform an all-bank refresh: banks precharged, channel blocked.
@@ -137,25 +267,35 @@ class Channel:
         self.stats.refreshes += 1
         self._ensure_kick(end)
 
-    def _select(self) -> DramRequest:
+    def _select_index(self) -> tuple[int, bool]:
         """FR-FCFS with optional walk priority.
 
         Page-table-walk reads (when ``prioritize_walks``) go first — one
         pending walk gates many data transactions.  Otherwise the oldest
         row-hit within the reorder window wins, falling back to the
-        oldest request.
+        oldest request.  Returns ``(index, stable)`` where ``stable``
+        means no later arrival could have won this selection (see the
+        module docstring on batched issue).
         """
-        if self.cfg.prioritize_walks:
-            for request in self.queue:
+        queue = self.queue
+        if self._pending_walks and self._prioritize:
+            for index, request in enumerate(queue):
                 if request.is_walk:
-                    return request
-        for request in self.queue[:FR_WINDOW]:
-            if self.banks[request.bank].open_row == request.row:
-                return request
-        return self.queue[0]
+                    return index, True
+        banks = self.banks
+        size = len(queue)
+        for index in range(size if size < FR_WINDOW else FR_WINDOW):
+            request = queue[index]
+            if banks[request.bank].open_row == request.row:
+                return index, not self._walk_preempt
+        return 0, not self._walk_preempt and size >= FR_WINDOW
 
     def _issue(self, request: DramRequest, now: int) -> int:
         """Advance bank/bus state for ``request``; returns data-end tick.
+
+        The caller schedules the completion callback: immediately for a
+        request issued at a real kick, deferred onto the credit chain
+        for a drained one (see module docstring).
 
         Command timing is floored at the request's *arrival*, not at the
         scheduling instant: a real controller issues ACT/RD commands for
@@ -163,37 +303,45 @@ class Channel:
         so back-to-back row hits stream at the burst rate.  The data bus
         remains the serializing resource.
         """
-        timing = self.cfg.timing
         bank = self.banks[request.bank]
         arrival = request.enqueue_time
+        stats = self.stats
         if bank.open_row == request.row:
-            col_ready = max(arrival, bank.col_ready_at)
-            self.stats.row_hits += 1
+            col_ready = bank.col_ready_at
+            if col_ready < arrival:
+                col_ready = arrival
+            stats.row_hits += 1
         else:
             if bank.open_row is None:
-                act_at = max(arrival, bank.col_ready_at)
+                act_at = bank.col_ready_at
+                if act_at < arrival:
+                    act_at = arrival
             else:
                 precharge_at = max(
-                    arrival, bank.col_ready_at, bank.act_at + timing.tRAS
+                    arrival, bank.col_ready_at, bank.act_at + self._tRAS
                 )
-                act_at = precharge_at + timing.tRP
+                act_at = precharge_at + self._tRP
             bank.act_at = act_at
             bank.open_row = request.row
-            col_ready = act_at + timing.tRCD
-            self.stats.row_misses += 1
-        data_start = max(col_ready + timing.tCL, self.bus_free_at, now)
+            col_ready = act_at + self._tRCD
+            stats.row_misses += 1
+        data_start = col_ready + self._tCL
+        bus_free = self.bus_free_at
+        if data_start < bus_free:
+            data_start = bus_free
+        if data_start < now:
+            data_start = now
         data_end = data_start + self.burst_ticks
         self.bus_free_at = data_end
-        recovery = timing.tWR if request.write else 0
-        bank.col_ready_at = col_ready + timing.tCCD + recovery
+        write = request.write
+        bank.col_ready_at = col_ready + self._tCCD + (self._tWR if write else 0)
 
-        if request.write:
-            self.stats.writes += 1
+        if write:
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        self.stats.bytes_per_core[request.core] += self.transaction_bytes
-        self.stats.queueing_ticks_total += data_end - request.enqueue_time
+            stats.reads += 1
+        stats.bytes_per_core[request.core] += self.transaction_bytes
+        stats.queueing_ticks_total += data_end - arrival
         if self.trace is not None:
             self.trace(data_end, self.transaction_bytes, request.core)
-        self.engine.at(data_end, request.callback)
         return data_end

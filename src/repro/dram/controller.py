@@ -37,11 +37,14 @@ class DramController:
         channels_per_core: dict[int, tuple[int, ...]],
         trace_window_ticks: int | None = None,
         logger: "TraceLogger | None" = None,
+        expect_walks: bool = True,
     ) -> None:
         """``channels_per_core`` maps core index -> allowed channel tuple.
 
         Shared DRAM is expressed by giving every core the full channel
-        range; static partitions give disjoint subsets.
+        range; static partitions give disjoint subsets.  ``expect_walks``
+        tells the channels whether prioritized page-table-walk traffic is
+        possible at all (it bounds batched issue; see ``Channel``).
         """
         if not channels_per_core:
             raise ValueError("at least one core must be wired to the controller")
@@ -76,11 +79,20 @@ class DramController:
                 stats=self.stats,
                 trace=trace_fn,
                 transaction_bytes=transaction_bytes,
+                expect_walks=expect_walks,
             )
             for index in range(cfg.channels)
         ]
         # Column field counts transactions per row.
         self._cols_per_row = max(1, cfg.row_bytes // transaction_bytes)
+        # ``decompose`` runs once per transaction; the mapping order and
+        # every modulus are fixed at construction, so each core gets a
+        # specialized decomposer with the field-peeling loop unrolled and
+        # all constants inlined (the same trick ``namedtuple`` uses).
+        self._decomposers = {
+            core: self._compile_decomposer(allowed)
+            for core, allowed in self.channels_per_core.items()
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -94,21 +106,24 @@ class DramController:
         is_walk: bool = False,
     ) -> None:
         """Issue one transaction; ``callback`` fires when its burst completes."""
-        channel_index, bank, row = self.decompose(core, addr)
+        channel_index, bank, row = self._decomposers[core](addr)
+        now = self.engine.now
         if self.logger is not None:
             callback = self._logged(
-                callback, self.engine.now, addr, core, channel_index, write, is_walk
+                callback, now, addr, core, channel_index, write, is_walk
             )
-        request = DramRequest(
-            addr=addr,
-            write=write,
-            core=core,
-            callback=callback,
-            bank=bank,
-            row=row,
-            is_walk=is_walk,
-        )
-        self.channels[channel_index].enqueue(request)
+        # Positional: (addr, write, core, callback, bank, row,
+        # enqueue_time, is_walk) — this runs once per transaction, with
+        # ``Channel.enqueue`` inlined (the per-transaction hot path).
+        request = DramRequest(addr, write, core, callback, bank, row, now, is_walk)
+        channel = self.channels[channel_index]
+        channel.queue.append(request)
+        if is_walk:
+            channel._pending_walks += 1
+        kick_at = channel._kick_at
+        if kick_at is None or kick_at > now:
+            channel._kick_at = now
+            self.engine.at(now, channel._kick_cb)
 
     def _logged(self, callback, start, addr, core, channel, write, is_walk):
         def wrapped() -> None:
@@ -128,29 +143,51 @@ class DramController:
         cores stripe across their own subset at full spatial locality.
         Addresses beyond capacity wrap (the row field is taken modulo).
         """
-        allowed = self.channels_per_core[core]
-        value = addr // self.transaction_bytes
-        channel = allowed[0]
-        bank_group = 0
-        bank_in_group = 0
-        row = 0
-        for token in self.cfg.mapping.order:
+        return self._decomposers[core](addr)
+
+    def _compile_decomposer(
+        self, allowed: tuple[int, ...]
+    ) -> Callable[[int], tuple[int, int, int]]:
+        """Build one core's ``addr -> (channel, bank, row)`` function."""
+        cfg = self.cfg
+        lines = [
+            "def decompose(addr):",
+            f"    value = addr // {self.transaction_bytes}",
+            f"    channel = {allowed[0]}",
+            "    bank_group = 0",
+            "    bank_in_group = 0",
+            "    row = 0",
+        ]
+        for token in cfg.mapping.order:
             if token == "ch":
-                channel = allowed[value % len(allowed)]
-                value //= len(allowed)
+                lines += [
+                    f"    channel = _allowed[value % {len(allowed)}]",
+                    f"    value //= {len(allowed)}",
+                ]
             elif token == "co":
-                value //= self._cols_per_row
+                lines.append(f"    value //= {self._cols_per_row}")
             elif token == "ba":
-                bank_in_group = value % self.cfg.banks_per_group
-                value //= self.cfg.banks_per_group
+                lines += [
+                    f"    bank_in_group = value % {cfg.banks_per_group}",
+                    f"    value //= {cfg.banks_per_group}",
+                ]
             elif token == "bg":
-                bank_group = value % self.cfg.bank_groups
-                value //= self.cfg.bank_groups
+                lines += [
+                    f"    bank_group = value % {cfg.bank_groups}",
+                    f"    value //= {cfg.bank_groups}",
+                ]
             else:  # "ro"
-                row = value % self.cfg.rows_per_bank
-                value //= self.cfg.rows_per_bank
-        bank = bank_group * self.cfg.banks_per_group + bank_in_group
-        return channel, bank, row
+                lines += [
+                    f"    row = value % {cfg.rows_per_bank}",
+                    f"    value //= {cfg.rows_per_bank}",
+                ]
+        lines.append(
+            f"    return channel, bank_group * {cfg.banks_per_group}"
+            " + bank_in_group, row"
+        )
+        namespace: dict = {"_allowed": allowed}
+        exec("\n".join(lines), namespace)  # noqa: S102 - constants only
+        return namespace["decompose"]
 
     # ------------------------------------------------------------------ #
 

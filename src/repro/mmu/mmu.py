@@ -79,6 +79,24 @@ class Mmu:
                 self._tlbs[core] = Tlb(cfg.tlb_entries, cfg.tlb_assoc, name=f"tlb{core}")
         # (core, vpn) -> callbacks waiting on the in-flight walk.
         self._pending: dict[tuple[int, int], list[tuple[int, Callable[[int], None]]]] = {}
+        # Per-core hot-path record: one dict lookup in ``probe`` instead
+        # of four, with the TLB's set list, set count, and stats pulled
+        # out so the lookup runs without a method call.  The set list and
+        # stats objects are aliases (shared TLBs share them), mutated in
+        # place, so ``Tlb.flush``/``fill`` stay visible here.  Built last
+        # so every map above is final.
+        self._percore = {
+            core: (
+                cfg.translation_enabled,
+                cfg.page_bytes,
+                self.page_tables[core],
+                self._tlbs[core]._sets,
+                self._tlbs[core].num_sets,
+                self._tlbs[core].stats,
+                self.stats[core],
+            )
+            for core, cfg in self.cfg.items()
+        }
 
     def tlb_for(self, core: int) -> Tlb:
         """The TLB instance serving ``core`` (shared or private)."""
@@ -87,6 +105,71 @@ class Mmu:
     def lookup_latency(self, core: int) -> int:
         """TLB lookup latency in the core's local cycles."""
         return self.cfg[core].tlb_latency_cycles
+
+    def direct_paddr(self, core: int) -> Callable[[int], int] | None:
+        """A bare ``vaddr -> paddr`` function when ``core`` skips the TLB.
+
+        With translation disabled the MMU front-end touches no state at
+        all, so issue loops may bind the page table's mapping once and
+        bypass :meth:`probe` entirely.  Returns ``None`` when translation
+        is enabled.
+        """
+        if self.cfg[core].translation_enabled:
+            return None
+        return self.page_tables[core].paddr
+
+    def probe(self, core: int, vaddr: int) -> int | None:
+        """TLB-hit fast path: the physical address, or ``None`` on a miss.
+
+        Counts the lookup (MMU and TLB stats) either way.  On ``None``
+        the caller must follow up with :meth:`miss` for the same address
+        — the pair is exactly :meth:`translate` split so hot issue loops
+        only build a miss continuation when one is needed.
+        """
+        enabled, page_bytes, table, tlb_sets, num_sets, tlb_stats, stats = (
+            self._percore[core]
+        )
+        if not enabled:
+            return table.paddr(vaddr)
+        stats.lookups += 1
+        vpn, offset = divmod(vaddr, page_bytes)
+        # Inline of ``Tlb.lookup`` (same counters, same LRU move-to-back)
+        # — this runs once per transaction.
+        tlb_stats.lookups += 1
+        entry_set = tlb_sets[vpn % num_sets]
+        key = (core, vpn)
+        if key in entry_set:
+            del entry_set[key]  # move-to-back = most recent
+            entry_set[key] = None
+            tlb_stats.hits += 1
+            stats.hits += 1
+            if self.logger is not None:
+                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "hit")
+            return table.translate(vpn) * page_bytes + offset
+        return None
+
+    def miss(self, core: int, vaddr: int, on_miss_done: Callable[[int], None]) -> None:
+        """Register the miss continuation after a failed :meth:`probe`.
+
+        Coalesces with any in-flight walk of the same page, otherwise
+        starts a walk; ``on_miss_done(paddr)`` fires when it completes.
+        """
+        page_bytes = self._percore[core][1]
+        stats = self._percore[core][6]
+        vpn, offset = divmod(vaddr, page_bytes)
+        key = (core, vpn)
+        waiters = self._pending.get(key)
+        if waiters is not None:
+            stats.coalesced += 1
+            if self.logger is not None:
+                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "coalesced")
+            waiters.append((offset, on_miss_done))
+            return
+        self._pending[key] = [(offset, on_miss_done)]
+        stats.walks_started += 1
+        if self.logger is not None:
+            self.logger.log_tlb(self.walkers.engine.now, core, vpn, "miss")
+        self.walkers.walk(core, vpn, lambda: self._walk_done(core, vpn))
 
     def translate(
         self, core: int, vaddr: int, on_miss_done: Callable[[int], None]
@@ -97,32 +180,10 @@ class Mmu:
         disabled).  Returns ``None`` on a miss; ``on_miss_done(paddr)``
         fires when the walk completes.
         """
-        cfg = self.cfg[core]
-        table = self.page_tables[core]
-        if not cfg.translation_enabled:
-            return table.paddr(vaddr)
-        stats = self.stats[core]
-        stats.lookups += 1
-        vpn, offset = divmod(vaddr, cfg.page_bytes)
-        if self._tlbs[core].lookup(core, vpn):
-            stats.hits += 1
-            if self.logger is not None:
-                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "hit")
-            return table.translate(vpn) * cfg.page_bytes + offset
-        key = (core, vpn)
-        waiters = self._pending.get(key)
-        if waiters is not None:
-            stats.coalesced += 1
-            if self.logger is not None:
-                self.logger.log_tlb(self.walkers.engine.now, core, vpn, "coalesced")
-            waiters.append((offset, on_miss_done))
-            return None
-        self._pending[key] = [(offset, on_miss_done)]
-        stats.walks_started += 1
-        if self.logger is not None:
-            self.logger.log_tlb(self.walkers.engine.now, core, vpn, "miss")
-        self.walkers.walk(core, vpn, lambda: self._walk_done(core, vpn))
-        return None
+        paddr = self.probe(core, vaddr)
+        if paddr is None:
+            self.miss(core, vaddr, on_miss_done)
+        return paddr
 
     def _walk_done(self, core: int, vpn: int) -> None:
         cfg = self.cfg[core]

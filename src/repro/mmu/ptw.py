@@ -60,7 +60,7 @@ class WalkStats:
         return self.queue_ticks_total / self.walks if self.walks else 0.0
 
 
-@dataclass
+@dataclass(slots=True, eq=False)
 class _Walk:
     core: int
     vpn: int
@@ -190,6 +190,13 @@ class WalkerPool:
         self._queues: dict[int, deque[_Walk]] = {core: deque() for core in cores}
         self._rr_order: list[int] = list(cores)
         self._rr_next = 0
+        # Hot-path counters: total queued walks (so per-completion
+        # dispatch wake-ups are O(1) when nothing waits) and the summed
+        # unclaimed reservations (so ``_can_grant`` is O(1), not O(cores)).
+        self._queued_count = 0
+        self._owed_total = sum(
+            self.reserved_per_core[core] for core in cores
+        )
         self.stats = {core: WalkStats() for core in cores}
         self.pwc = {
             core: PageWalkCache((pwc_entries or {}).get(core, 0)) for core in cores
@@ -201,56 +208,58 @@ class WalkerPool:
     def walk(self, core: int, vpn: int, on_done: Callable[[], None]) -> None:
         """Request a page-table walk; ``on_done`` fires when it completes."""
         self._queues[core].append(_Walk(core, vpn, on_done, self.engine.now))
+        self._queued_count += 1
         self._dispatch()
 
     @property
     def queued(self) -> int:
         """Walks waiting for a walker."""
-        return sum(len(queue) for queue in self._queues.values())
+        return self._queued_count
 
     # ------------------------------------------------------------------ #
 
     def _can_grant(self, core: int) -> bool:
         if self._total_inflight >= self.capacity:
             return False
-        if self.inflight[core] >= self.max_per_core[core]:
+        inflight = self.inflight[core]
+        if inflight >= self.max_per_core[core]:
             return False
-        if self.inflight[core] < self.reserved_per_core[core]:
+        if inflight < self.reserved_per_core[core]:
             return True  # claiming the core's own reservation
         # Granting a non-reserved walker must leave enough free walkers to
-        # honour every other core's outstanding reservation.
-        free_after = self.capacity - self._total_inflight - 1
-        owed = sum(
-            max(0, self.reserved_per_core[other] - self.inflight[other])
-            for other in self.inflight
-            if other != core
-        )
-        return free_after >= owed
+        # honour every other core's outstanding reservation.  This core is
+        # at or above its own reservation, so ``_owed_total`` (unclaimed
+        # reservations over *all* cores) counts exactly the others'.
+        return self.capacity - self._total_inflight - 1 >= self._owed_total
 
     def _dispatch(self) -> None:
         # Round-robin across cores with pending walks; FCFS within a core.
-        num_cores = len(self._rr_order)
-        blocked: set[int] = set()
-        while len(blocked) < num_cores:
-            granted = False
+        # A blocked core stays blocked for the rest of the call (granting
+        # only consumes walkers and reservations), so rescanning after a
+        # grant reproduces the one-pass-with-memo semantics without
+        # allocating a set per wake-up.
+        if not self._queued_count:
+            return
+        order = self._rr_order
+        num_cores = len(order)
+        queues = self._queues
+        while self._queued_count:
             for offset in range(num_cores):
                 position = (self._rr_next + offset) % num_cores
-                core = self._rr_order[position]
-                if core in blocked or not self._queues[core]:
-                    blocked.add(core)
+                core = order[position]
+                queue = queues[core]
+                if not queue or not self._can_grant(core):
                     continue
-                if not self._can_grant(core):
-                    blocked.add(core)
-                    continue
-                walk = self._queues[core].popleft()
                 self._rr_next = (position + 1) % num_cores
-                self._start(walk)
-                granted = True
+                self._queued_count -= 1
+                self._start(queue.popleft())
                 break
-            if not granted:
+            else:
                 return
 
     def _start(self, walk: _Walk) -> None:
+        if self.inflight[walk.core] < self.reserved_per_core[walk.core]:
+            self._owed_total -= 1
         self.inflight[walk.core] += 1
         self._total_inflight += 1
         walk.start_time = self.engine.now
@@ -298,6 +307,8 @@ class WalkerPool:
     def _finish(self, walk: _Walk) -> None:
         self.inflight[walk.core] -= 1
         self._total_inflight -= 1
+        if self.inflight[walk.core] < self.reserved_per_core[walk.core]:
+            self._owed_total += 1
         self.stats[walk.core].walk_ticks_total += self.engine.now - walk.start_time
         if self.logger is not None:
             self.logger.log_ptw(

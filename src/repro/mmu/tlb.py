@@ -54,13 +54,15 @@ class Tlb:
 
     def lookup(self, asid: int, vpn: int) -> bool:
         """True on hit; updates recency and counters."""
-        self.stats.lookups += 1
-        entry_set = self._set_for(vpn)
+        stats = self.stats
+        stats.lookups += 1
+        # Inline of ``_set_for`` — this runs once per transaction.
+        entry_set = self._sets[vpn % self.num_sets]
         key = (asid, vpn)
         if key in entry_set:
             del entry_set[key]  # move-to-back = most recent
             entry_set[key] = None
-            self.stats.hits += 1
+            stats.hits += 1
             return True
         return False
 

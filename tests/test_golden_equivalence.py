@@ -56,22 +56,16 @@ CORPUS_IDS = [name for name, _ in CORPUS]
 MAX_TICKS = 50_000_000_000
 
 
-def snapshot(spec: RunSpec, cache_dir: Path) -> dict:
-    """Simulate ``spec`` and capture every pinned observable.
-
-    Integer metrics come from a direct :class:`MultiCoreNPUSim` run; the
-    cache shard (and its hash) from an :class:`ExperimentRunner` run of
-    the same spec into ``cache_dir``.
-    """
+def simulate(spec: RunSpec):
+    """One direct :class:`MultiCoreNPUSim` run of ``spec``."""
     networks = [zoo.get(name, spec.scale) for name in spec.workloads]
     sim = MultiCoreNPUSim(spec.system(), networks)
-    mix = sim.run(max_ticks=MAX_TICKS)
-    runner = ExperimentRunner(scale=spec.scale, cache_dir=cache_dir)
-    runner.run(spec)
-    shard = (cache_dir / f"{spec.cache_key()}.json").read_bytes()
+    return sim.run(max_ticks=MAX_TICKS)
+
+
+def metrics(mix) -> dict:
+    """Every pinned integer observable of one simulation."""
     return {
-        "cache_key": spec.cache_key(),
-        "shard_sha256": hashlib.sha256(shard).hexdigest(),
         "total_ticks": mix.total_ticks,
         "dram": {
             "reads": mix.dram.reads,
@@ -100,6 +94,24 @@ def snapshot(spec: RunSpec, cache_dir: Path) -> dict:
             }
             for result in mix.workloads
         ],
+    }
+
+
+def snapshot(spec: RunSpec, cache_dir: Path) -> dict:
+    """Simulate ``spec`` and capture every pinned observable.
+
+    Integer metrics come from a direct :class:`MultiCoreNPUSim` run; the
+    cache shard (and its hash) from an :class:`ExperimentRunner` run of
+    the same spec into ``cache_dir``.
+    """
+    mix = simulate(spec)
+    runner = ExperimentRunner(scale=spec.scale, cache_dir=cache_dir)
+    runner.run(spec)
+    shard = (cache_dir / f"{spec.cache_key()}.json").read_bytes()
+    return {
+        "cache_key": spec.cache_key(),
+        "shard_sha256": hashlib.sha256(shard).hexdigest(),
+        **metrics(mix),
     }
 
 
@@ -164,3 +176,26 @@ def test_corpus_covers_required_axes():
     assert any(not s.translation for s in specs.values()), (
         "need a translation-off config (no walk traffic)"
     )
+
+
+@pytest.mark.parametrize(
+    "name", ["solo-dlrm-1ch-notrans", "mix-ncf-dlrm-D", "mix-ncf-dlrm-DWT"]
+)
+def test_per_event_scheduler_matches_batched_issue(name, snapshots, monkeypatch):
+    """A/B the channel's batched drain against one-request-per-event.
+
+    The batch guards (refresh horizon, arrival-stable selection) claim
+    the two schedulers are observationally identical; re-simulating a
+    slice of the corpus with ``BATCH_ISSUE`` off checks that claim on
+    real end-to-end traffic, not just the synthetic property tests.
+    """
+    import repro.dram.channel as channel_mod
+
+    monkeypatch.setattr(channel_mod, "BATCH_ISSUE", False)
+    got = metrics(simulate(dict(CORPUS)[name]))
+    want = {
+        key: value
+        for key, value in snapshots[name].items()
+        if key not in ("cache_key", "shard_sha256")
+    }
+    assert got == want
