@@ -34,7 +34,12 @@ from repro.config import (
 )
 from repro.config.system import SystemConfig
 from repro.core.sharing import SharingLevel
-from repro.core.simulator import MixResult, MultiCoreNPUSim
+from repro.core.simulator import (
+    DEFAULT_STALL_WINDOW_TICKS,
+    MixResult,
+    MultiCoreNPUSim,
+)
+from repro.errors import SimulationStallError
 from repro.experiments.runner import DEFAULT_MAX_TICKS
 from repro.experiments.spec import RunSpec
 from repro.models import zoo
@@ -103,7 +108,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         share_tlb=not args.static_tlb,
     )
     networks = [zoo.get(name, args.scale) for name in network_names]
-    sim = MultiCoreNPUSim(system, networks, trace_requests=args.trace)
+    sim = MultiCoreNPUSim(
+        system,
+        networks,
+        trace_requests=args.trace,
+        stall_window_ticks=args.stall_window,
+    )
     result = _run_sim(sim, args.max_ticks)
     out_dir = Path(args.result_path)
     _write_results(result, system, out_dir, networks)
@@ -118,9 +128,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_sim(sim: MultiCoreNPUSim, max_ticks: int) -> MixResult:
-    """Run a simulation under the CLI's tick safety valve."""
+    """Run a simulation under the CLI's tick safety valve + stall watchdog."""
     try:
         return sim.run(max_ticks=max_ticks)
+    except SimulationStallError as error:
+        # The multi-line detail names where every core is wedged.
+        raise SystemExit(f"simulation aborted: {error.detail()}") from error
     except RuntimeError as error:
         raise SystemExit(f"simulation aborted: {error}") from error
 
@@ -139,7 +152,7 @@ def _cmd_mix(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from error
     system = spec.system()
     networks = [zoo.get(name, args.scale) for name in names]
-    sim = MultiCoreNPUSim(system, networks)
+    sim = MultiCoreNPUSim(system, networks, stall_window_ticks=args.stall_window)
     result = _run_sim(sim, args.max_ticks)
     for workload in result.workloads:
         print(
@@ -160,11 +173,27 @@ def _print_progress(event) -> None:
         if event.eta_seconds is not None
         else ""
     )
+    failed = (
+        f", {event.failed} failed" if getattr(event, "failed", 0) else ""
+    )
     print(
         f"[{event.completed}/{event.total}] {label} "
-        f"({event.cache_hits} cached, {event.elapsed_seconds:.1f}s{eta})",
+        f"({event.cache_hits} cached, {event.elapsed_seconds:.1f}s{eta}{failed})",
         file=sys.stderr,
     )
+
+
+def _report_failures(runner) -> int:
+    """Structured one-line error per failed spec; the process exit code."""
+    failures = getattr(runner, "failures", None) or {}
+    for failure in failures.values():
+        print(
+            f"error: {failure.key[:12]} ({failure.label}): "
+            f"[{failure.kind}] {failure.error} "
+            f"after {failure.attempts} attempt(s)",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
 
 
 def _figure_mixes(args: argparse.Namespace):
@@ -191,6 +220,7 @@ def _figure_producers(runner, dual, quad):
         "fig11": lambda: {
             name: series[-1][1]
             for name, series in figures.fig11_bandwidth_sweep(runner)["speedup"].items()
+            if series
         },
         "fig13": lambda: figures.fig13_ptw_partition_performance(runner, dual)["overall"],
         "fig14": lambda: figures.fig14_ptw_partition_fairness(runner, dual)["overall"],
@@ -201,11 +231,14 @@ def _figure_producers(runner, dual, quad):
 def _make_runner(args: argparse.Namespace):
     from repro.experiments.runner import ExperimentRunner
 
+    # Progress reporting is always on (serial and parallel alike) unless
+    # --quiet asked for silence, so figure and sweep behave identically.
     return ExperimentRunner(
         scale=args.scale,
         cache_dir=args.cache_dir,
         jobs=args.jobs,
-        progress=_print_progress if args.jobs > 1 else None,
+        progress=None if args.quiet else _print_progress,
+        run_timeout=args.run_timeout,
     )
 
 
@@ -218,9 +251,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     producers = _figure_producers(runner, dual, quad)
     if args.name not in producers:
         raise SystemExit(f"unknown figure {args.name!r}; pick one of {sorted(producers)}")
-    data = {key: round(value, 4) for key, value in producers[args.name]().items()}
+    data = _round4(producers[args.name]())
     print(format_mapping(f"{args.name} (scale={args.scale})", data))
-    return 0
+    return _report_failures(runner)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -247,11 +280,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for name in args.names
         for spec in figures.FIGURE_PLANNERS[name](runner, dual, quad)
     ]
-    runner.run_many(specs, progress=_print_progress)
+    runner.run_many(specs)
     for name in args.names:
-        data = {key: round(value, 4) for key, value in producers[name]().items()}
+        data = _round4(producers[name]())
         print(format_mapping(f"{name} (scale={args.scale})", data))
-    return 0
+    return _report_failures(runner)
+
+
+def _round4(data: dict) -> dict:
+    """Round numeric headline values; keep missing (None) markers as-is."""
+    return {
+        key: round(value, 4) if isinstance(value, (int, float)) else value
+        for key, value in data.items()
+    }
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -274,6 +315,14 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for cold simulations (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-run progress lines on stderr",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget; overruns fail the spec, not the sweep",
     )
 
 
@@ -303,6 +352,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
         help="abort a run exceeding this many global ticks (safety valve)",
     )
+    run.add_argument(
+        "--stall-window", type=int, default=DEFAULT_STALL_WINDOW_TICKS,
+        help="livelock watchdog: abort when no core retires work for this "
+             "many global ticks (0 disables)",
+    )
     run.set_defaults(func=_cmd_run)
 
     mix = sub.add_parser("mix", help="co-run named benchmarks under a sharing level")
@@ -314,6 +368,11 @@ def main(argv: list[str] | None = None) -> int:
     mix.add_argument(
         "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
         help="abort a run exceeding this many global ticks (safety valve)",
+    )
+    mix.add_argument(
+        "--stall-window", type=int, default=DEFAULT_STALL_WINDOW_TICKS,
+        help="livelock watchdog: abort when no core retires work for this "
+             "many global ticks (0 disables)",
     )
     mix.set_defaults(func=_cmd_mix)
 

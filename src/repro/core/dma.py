@@ -108,6 +108,16 @@ class DmaEngine:
         """True while any transfer has unissued or in-flight transactions."""
         return bool(self._active) or self._outstanding > 0
 
+    @property
+    def outstanding(self) -> int:
+        """Transactions issued to memory but not yet completed."""
+        return self._outstanding
+
+    @property
+    def queued_transfers(self) -> int:
+        """Transfers with unissued transactions (incl. the active one)."""
+        return len(self._active)
+
     # ------------------------------------------------------------------ #
 
     def _expand(self, runs: tuple[Run, ...]) -> Iterator[tuple[int, bool]]:

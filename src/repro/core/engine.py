@@ -87,3 +87,16 @@ class Engine:
     def pending(self) -> int:
         """Number of scheduled-but-unprocessed events."""
         return len(self._queue) + len(self._bucket)
+
+    def next_time(self) -> int | None:
+        """Tick of the earliest pending event, or ``None`` when drained.
+
+        Lets a caller run the simulation in bounded slices
+        (``run(until=next_time() + window)``) without ever spinning on an
+        empty window — the basis of the stall watchdog's progress checks.
+        """
+        if self._bucket:
+            return self.now
+        if self._queue:
+            return self._queue[0][0]
+        return None

@@ -80,6 +80,11 @@ class NpuCore:
         self._halted = True
 
     @property
+    def outstanding_writes(self) -> int:
+        """Write-back transfers still draining to memory."""
+        return self._outstanding_writes
+
+    @property
     def idle(self) -> bool:
         """True when the core has no work in any pipeline stage."""
         return (

@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.compute.requestgen import RequestGenerator
 from repro.config.system import SystemConfig
+from repro.errors import (
+    CoreDiagnostics,
+    SimulationStallError,
+    SimulatorReuseError,
+)
 from repro.core.clock import ClockDomain
 from repro.core.dma import DmaEngine
 from repro.core.engine import Engine
@@ -24,6 +29,12 @@ from repro.mmu.mmu import Mmu
 from repro.mmu.pagetable import PageTable, PhysicalLayout
 from repro.mmu.ptw import WalkerPool
 from repro.models.layers import Network
+
+#: Default stall-watchdog window in global ticks.  A healthy simulation
+#: retires a tile every few thousand ticks even under heavy contention,
+#: so a window this wide never fires on legitimate runs yet catches a
+#: livelock ~5000x earlier than the runner's 50-billion-tick ceiling.
+DEFAULT_STALL_WINDOW_TICKS = 10_000_000
 
 
 @dataclass(frozen=True)
@@ -86,7 +97,18 @@ class MultiCoreNPUSim:
         *,
         trace_bandwidth: bool = False,
         trace_requests: bool = False,
+        stall_window_ticks: int | None = None,
     ) -> None:
+        """``stall_window_ticks`` arms the stall watchdog: if no core
+        retires a tile or completes an iteration within that many global
+        ticks while events keep firing, :meth:`run` raises a
+        :class:`SimulationStallError` with per-core diagnostics instead
+        of spinning to the ``max_ticks`` ceiling.  ``None`` (default)
+        disables the watchdog; the experiment runner arms it for every
+        sweep worker.  The watchdog only slices the event loop at window
+        boundaries — event order, and therefore every simulation result,
+        is byte-identical with and without it.
+        """
         if len(networks) != system.num_cores:
             raise ValueError(
                 f"{system.num_cores} cores need {system.num_cores} workloads, "
@@ -95,6 +117,9 @@ class MultiCoreNPUSim:
         self.system = system
         self.networks = tuple(networks)
         self.engine = Engine()
+        if stall_window_ticks is not None and stall_window_ticks <= 0:
+            stall_window_ticks = None
+        self.stall_window_ticks = stall_window_ticks
         cores = range(system.num_cores)
 
         layout = PhysicalLayout(system.dram.capacity_bytes, system.num_cores)
@@ -169,6 +194,8 @@ class MultiCoreNPUSim:
             for core in cores
         }
         self._ran = False
+        #: Core -> last global tick at which it retired work (watchdog).
+        self._last_progress: dict[int, int] = {core: 0 for core in cores}
 
     def _build_walker_pool(self) -> WalkerPool:
         system = self.system
@@ -223,20 +250,96 @@ class MultiCoreNPUSim:
             for core in self.cores.values():
                 core.halt()
 
+    def _progress_marker(self) -> tuple[tuple[int, int], ...]:
+        """Per-core retired-work counters; any change is forward progress."""
+        return tuple(
+            (core.stats.tiles_computed, core.stats.completed_iterations)
+            for core in self.cores.values()
+        )
+
+    def diagnostics(self) -> list[CoreDiagnostics]:
+        """Per-core progress/queue snapshot (stall reports, debugging)."""
+        return [
+            CoreDiagnostics(
+                core=core_id,
+                workload=self.networks[core_id].name,
+                tiles_computed=core.stats.tiles_computed,
+                completed_iterations=core.stats.completed_iterations,
+                outstanding_dma=self.dmas[core_id].outstanding,
+                queued_transfers=self.dmas[core_id].queued_transfers,
+                outstanding_writes=core.outstanding_writes,
+                walks_inflight=self.walkers.inflight[core_id],
+                walks_queued=self.walkers.queued_for(core_id),
+                last_progress_tick=self._last_progress.get(core_id, 0),
+            )
+            for core_id, core in sorted(self.cores.items())
+        ]
+
+    def _stall_error(self, message: str) -> SimulationStallError:
+        return SimulationStallError(
+            message,
+            diagnostics=self.diagnostics(),
+            total_ticks=self.engine.now,
+            events_processed=self.engine.events_processed,
+            dram_queue_depths=self.dram.queue_depths(),
+        )
+
+    def _run_watched(self, max_ticks: int | None, window: int) -> None:
+        """Drive the engine in ``window``-sized slices with progress checks.
+
+        Equivalent to one ``engine.run(until=max_ticks)`` call — slicing
+        never reorders events — but between slices the watchdog compares
+        retired-work counters: a full window of event activity with no
+        core retiring anything is a livelock, reported immediately with
+        diagnostics instead of after tens of billions of wasted ticks.
+        """
+        engine = self.engine
+        marker = self._progress_marker()
+        last_change = engine.now
+        while True:
+            next_time = engine.next_time()
+            if next_time is None:
+                return
+            if max_ticks is not None and next_time > max_ticks:
+                return
+            horizon = next_time + window
+            if max_ticks is not None:
+                horizon = min(horizon, max_ticks)
+            engine.run(until=horizon)
+            current = self._progress_marker()
+            if current != marker:
+                now = engine.now
+                for core_id, (was, is_now) in enumerate(zip(marker, current)):
+                    if was != is_now:
+                        self._last_progress[core_id] = now
+                marker = current
+                last_change = now
+            elif engine.now - last_change >= window:
+                raise self._stall_error(
+                    f"no core retired work for {engine.now - last_change} "
+                    f"ticks (watchdog window {window}); the simulation is "
+                    "livelocked"
+                )
+
     def run(self, max_ticks: int | None = None) -> MixResult:
         """Run the co-simulation to completion and collect results."""
         if self._ran:
-            raise RuntimeError("a simulator instance runs once; build a new one")
+            raise SimulatorReuseError(
+                "a simulator instance runs once; build a new one"
+            )
         self._ran = True
         misc = self.system.misc
         for core_id, core in self.cores.items():
             core.start(misc.start_cycle + core_id * misc.start_stagger_cycles)
-        self.engine.run(until=max_ticks)
+        if self.stall_window_ticks is None:
+            self.engine.run(until=max_ticks)
+        else:
+            self._run_watched(max_ticks, self.stall_window_ticks)
         results = []
         for core_id, core in sorted(self.cores.items()):
             stats = core.stats
             if stats.first_completion_tick is None:
-                raise RuntimeError(
+                raise self._stall_error(
                     f"core {core_id} never completed an iteration "
                     f"(simulated {self.engine.now} ticks); raise max_ticks or "
                     "check the configuration"

@@ -208,3 +208,9 @@ class DramController:
     def pending(self) -> int:
         """Requests currently queued across all channels."""
         return sum(channel.occupancy for channel in self.channels)
+
+    def queue_depths(self) -> dict[int, int]:
+        """Per-channel queue occupancy (stall-watchdog diagnostics)."""
+        return {
+            channel.index: channel.occupancy for channel in self.channels
+        }

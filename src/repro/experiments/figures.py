@@ -48,6 +48,7 @@ from repro.config.misc import MiscConfig
 from repro.core.metrics import box_stats, cdf_points, fairness, geomean
 from repro.core.sharing import CONTENDED_LEVELS, SWEEP_LEVELS, SharingLevel
 from repro.core.simulator import MultiCoreNPUSim
+from repro.errors import RunFailedError
 from repro.experiments.mixes import all_mixes, mix_label
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import RunSpec
@@ -60,6 +61,47 @@ BW_SPLITS = ((1, 7), (2, 6), (4, 4), (6, 2), (7, 1))
 # --------------------------------------------------------------------- #
 # Shared helpers
 # --------------------------------------------------------------------- #
+
+
+def _maybe(call: Any) -> Any:
+    """Result of a runner call, or ``None`` when its spec failed.
+
+    The degradation primitive: reducers consume partially-failed sweeps
+    by treating every failed run as a missing data point rather than
+    letting :class:`RunFailedError` abort the whole figure.
+    """
+    try:
+        return call()
+    except RunFailedError:
+        return None
+
+
+def _safe_geomean(values: Sequence[float]) -> float | None:
+    """Geomean over the present values; ``None`` when all are missing."""
+    present = [value for value in values if value is not None]
+    return geomean(present) if present else None
+
+
+def _failure_summaries(runner: ExperimentRunner) -> list[dict[str, Any]]:
+    """JSON digests of the runner's recorded failures (may be empty)."""
+    failures = getattr(runner, "failures", None) or {}
+    return [
+        failure.summary()
+        for failure in failures.values()
+        if hasattr(failure, "summary")
+    ]
+
+
+def _attach_failures(result: dict[str, Any], runner: ExperimentRunner) -> dict[str, Any]:
+    """Append the failure summary to a reducer's output when non-empty.
+
+    Keeps fully-successful outputs byte-identical to the pre-degradation
+    format: the ``"failures"`` key only appears when something failed.
+    """
+    summaries = _failure_summaries(runner)
+    if summaries:
+        result["failures"] = summaries
+    return result
 
 
 def _ideal_specs(
@@ -98,12 +140,16 @@ def _ideal_cycles(
     page_bytes: int = 4096,
     translation: bool = True,
 ) -> dict[str, int]:
-    return {
-        name: runner.ideal(
-            name, num_cores, page_bytes=page_bytes, translation=translation
-        )["cycles"]
-        for name in zoo.NAMES
-    }
+    cycles: dict[str, int] = {}
+    for name in zoo.NAMES:
+        result = _maybe(
+            lambda n=name: runner.ideal(
+                n, num_cores, page_bytes=page_bytes, translation=translation
+            )
+        )
+        if result is not None:
+            cycles[name] = result["cycles"]
+    return cycles
 
 
 def _static_cycles(
@@ -112,12 +158,16 @@ def _static_cycles(
     page_bytes: int = 4096,
     translation: bool = True,
 ) -> dict[str, int]:
-    return {
-        name: runner.static_equal(
-            name, page_bytes=page_bytes, translation=translation
-        )["cycles"]
-        for name in zoo.NAMES
-    }
+    cycles: dict[str, int] = {}
+    for name in zoo.NAMES:
+        result = _maybe(
+            lambda n=name: runner.static_equal(
+                n, page_bytes=page_bytes, translation=translation
+            )
+        )
+        if result is not None:
+            cycles[name] = result["cycles"]
+    return cycles
 
 
 def mix_speedups(
@@ -130,12 +180,24 @@ def mix_speedups(
     page_bytes: int = 4096,
     translation: bool = True,
 ) -> list[float]:
-    """Per-workload speedups (vs Ideal) of a mix under one sharing level."""
+    """Per-workload speedups (vs Ideal) of a mix under one sharing level.
+
+    Returns ``[]`` when the mix run (or any baseline it needs) failed —
+    the missing-data marker reducers degrade on.
+    """
     if level is SharingLevel.STATIC:
+        if any(name not in ideal or name not in static for name in mix):
+            return []
         return [ideal[name] / static[name] for name in mix]
-    results = runner.mix(
-        mix, level, page_bytes=page_bytes, translation=translation
+    if any(name not in ideal for name in mix):
+        return []
+    results = _maybe(
+        lambda: runner.mix(
+            mix, level, page_bytes=page_bytes, translation=translation
+        )
     )
+    if results is None:
+        return []
     return [
         ideal[name] / result["cycles"] for name, result in zip(mix, results)
     ]
@@ -183,10 +245,14 @@ def _sharing_sweep(
 
 
 def _geomeans_by_level(sweep: dict[str, Any]) -> dict[str, dict[str, float]]:
+    # Empty speedup lists are failed runs: the level is simply absent
+    # from that mix's reduction.
     result: dict[str, dict[str, float]] = {}
     for label, by_level in sweep["speedups"].items():
         result[label] = {
-            level: geomean(speeds) for level, speeds in by_level.items()
+            level: geomean(speeds)
+            for level, speeds in by_level.items()
+            if speeds
         }
     return result
 
@@ -197,6 +263,7 @@ def _fairness_by_level(sweep: dict[str, Any]) -> dict[str, dict[str, float]]:
         result[label] = {
             level: fairness([1.0 / value for value in speeds])
             for level, speeds in by_level.items()
+            if speeds
         }
     return result
 
@@ -289,10 +356,18 @@ def fig4_dual_performance(
     sweep = _sharing_sweep(runner, 2, mixes)
     per_mix = _geomeans_by_level(sweep)
     overall = {
-        level.label: geomean([per_mix[m][level.label] for m in sweep["mixes"]])
+        level.label: _safe_geomean(
+            [
+                per_mix[m][level.label]
+                for m in sweep["mixes"]
+                if level.label in per_mix[m]
+            ]
+        )
         for level in SWEEP_LEVELS
     }
-    return {"per_mix": per_mix, "overall": overall, "sweep": sweep}
+    return _attach_failures(
+        {"per_mix": per_mix, "overall": overall, "sweep": sweep}, runner
+    )
 
 
 def fig5_quad_performance(
@@ -304,10 +379,17 @@ def fig5_quad_performance(
     cdfs = {}
     overall = {}
     for level in SWEEP_LEVELS:
-        values = [per_mix[m][level.label] for m in sweep["mixes"]]
-        cdfs[level.label] = cdf_points(values)
-        overall[level.label] = geomean(values)
-    return {"per_mix": per_mix, "cdf": cdfs, "overall": overall, "sweep": sweep}
+        values = [
+            per_mix[m][level.label]
+            for m in sweep["mixes"]
+            if level.label in per_mix[m]
+        ]
+        cdfs[level.label] = cdf_points(values) if values else []
+        overall[level.label] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "cdf": cdfs, "overall": overall, "sweep": sweep},
+        runner,
+    )
 
 
 def fig6_dual_fairness(
@@ -317,10 +399,16 @@ def fig6_dual_fairness(
     sweep = _sharing_sweep(runner, 2, mixes)
     per_mix = _fairness_by_level(sweep)
     overall = {
-        level.label: geomean([per_mix[m][level.label] for m in sweep["mixes"]])
+        level.label: _safe_geomean(
+            [
+                per_mix[m][level.label]
+                for m in sweep["mixes"]
+                if level.label in per_mix[m]
+            ]
+        )
         for level in SWEEP_LEVELS
     }
-    return {"per_mix": per_mix, "overall": overall}
+    return _attach_failures({"per_mix": per_mix, "overall": overall}, runner)
 
 
 def fig7_quad_fairness(
@@ -332,10 +420,16 @@ def fig7_quad_fairness(
     cdfs = {}
     overall = {}
     for level in SWEEP_LEVELS:
-        values = [per_mix[m][level.label] for m in sweep["mixes"]]
-        cdfs[level.label] = cdf_points(values)
-        overall[level.label] = geomean(values)
-    return {"per_mix": per_mix, "cdf": cdfs, "overall": overall}
+        values = [
+            per_mix[m][level.label]
+            for m in sweep["mixes"]
+            if level.label in per_mix[m]
+        ]
+        cdfs[level.label] = cdf_points(values) if values else []
+        overall[level.label] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "cdf": cdfs, "overall": overall}, runner
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -363,16 +457,21 @@ def fig8_sensitivity(
     ideal = _ideal_cycles(runner, 2)
     samples: dict[str, list[float]] = {name: [] for name in zoo.NAMES}
     for mix in mixes:
-        results = runner.mix(mix, SharingLevel.DWT)
+        results = _maybe(lambda m=mix: runner.mix(m, SharingLevel.DWT))
+        if results is None:
+            continue
         for name, result in zip(mix, results):
-            samples[name].append(ideal[name] / result["cycles"])
+            if name in ideal:
+                samples[name].append(ideal[name] / result["cycles"])
     boxes = {
         name: box_stats(values) for name, values in samples.items() if values
     }
     spread = {
         name: box["max"] - box["min"] for name, box in boxes.items()
     }
-    return {"samples": samples, "boxes": boxes, "range": spread}
+    return _attach_failures(
+        {"samples": samples, "boxes": boxes, "range": spread}, runner
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -411,32 +510,47 @@ def _bw_partition_sweep(
     # Solo cycles at each static channel share (1..7 of 8).
     share_cycles: dict[int, dict[str, int]] = {}
     for share in sorted({part for split in BW_SPLITS for part in split}):
-        share_cycles[share] = {
-            name: runner.solo(
-                name,
-                channels=channels * 2 * share // 8,
-                translation=False,
-            )["cycles"]
-            for name in zoo.NAMES
-        }
+        share_cycles[share] = {}
+        for name in zoo.NAMES:
+            result = _maybe(
+                lambda n=name, s=share: runner.solo(
+                    n, channels=channels * 2 * s // 8, translation=False
+                )
+            )
+            if result is not None:
+                share_cycles[share][name] = result["cycles"]
     per_mix: dict[str, dict[str, Any]] = {}
     for mix in mixes:
         label = mix_label(mix)
         schemes: dict[str, list[float]] = {}
         for left, right in BW_SPLITS:
-            schemes[f"{left}:{right}"] = [
-                ideal[mix[0]] / share_cycles[left][mix[0]],
-                ideal[mix[1]] / share_cycles[right][mix[1]],
-            ]
-        dynamic = runner.mix(mix, SharingLevel.D, translation=False)
-        schemes["Dynamic"] = [
-            ideal[name] / result["cycles"] for name, result in zip(mix, dynamic)
-        ]
-        best = max(
-            (f"{l}:{r}" for l, r in BW_SPLITS),
-            key=lambda scheme: geomean(schemes[scheme]),
+            if (
+                mix[0] in ideal
+                and mix[1] in ideal
+                and mix[0] in share_cycles[left]
+                and mix[1] in share_cycles[right]
+            ):
+                schemes[f"{left}:{right}"] = [
+                    ideal[mix[0]] / share_cycles[left][mix[0]],
+                    ideal[mix[1]] / share_cycles[right][mix[1]],
+                ]
+        dynamic = _maybe(
+            lambda m=mix: runner.mix(m, SharingLevel.D, translation=False)
         )
-        schemes["Static Best"] = schemes[best]
+        if dynamic is not None and all(name in ideal for name in mix):
+            schemes["Dynamic"] = [
+                ideal[name] / result["cycles"]
+                for name, result in zip(mix, dynamic)
+            ]
+        static_present = [
+            f"{l}:{r}" for l, r in BW_SPLITS if f"{l}:{r}" in schemes
+        ]
+        best = None
+        if static_present:
+            best = max(
+                static_present, key=lambda scheme: geomean(schemes[scheme])
+            )
+            schemes["Static Best"] = schemes[best]
         per_mix[label] = {"schemes": schemes, "best_static": best}
     return {"per_mix": per_mix, "mixes": [mix_label(mix) for mix in mixes]}
 
@@ -452,11 +566,17 @@ def fig9_bandwidth_partition_performance(
     for scheme in scheme_names:
         values = []
         for label in sweep["mixes"]:
-            value = geomean(sweep["per_mix"][label]["schemes"][scheme])
+            speeds = sweep["per_mix"][label]["schemes"].get(scheme)
+            if not speeds:
+                continue
+            value = geomean(speeds)
             per_mix.setdefault(label, {})[scheme] = value
             values.append(value)
-        overall[scheme] = geomean(values)
-    return {"per_mix": per_mix, "overall": overall, "schemes": scheme_names}
+        overall[scheme] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "overall": overall, "schemes": scheme_names},
+        runner,
+    )
 
 
 def fig10_bandwidth_partition_fairness(
@@ -470,12 +590,17 @@ def fig10_bandwidth_partition_fairness(
     for scheme in scheme_names:
         values = []
         for label in sweep["mixes"]:
-            speeds = sweep["per_mix"][label]["schemes"][scheme]
+            speeds = sweep["per_mix"][label]["schemes"].get(scheme)
+            if not speeds:
+                continue
             value = fairness([1.0 / s for s in speeds])
             per_mix.setdefault(label, {})[scheme] = value
             values.append(value)
-        overall[scheme] = geomean(values)
-    return {"per_mix": per_mix, "overall": overall, "schemes": scheme_names}
+        overall[scheme] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "overall": overall, "schemes": scheme_names},
+        runner,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -507,13 +632,19 @@ def fig11_bandwidth_sweep(runner: ExperimentRunner) -> dict[str, Any]:
     counts = FIG11_CHANNEL_COUNTS
     per_workload: dict[str, list[tuple[int, float]]] = {}
     for name in zoo.NAMES:
-        base = runner.solo(name, channels=counts[0])["cycles"]
+        baseline = _maybe(lambda n=name: runner.solo(n, channels=counts[0]))
+        if baseline is None:
+            continue
+        base = baseline["cycles"]
         series = []
         for count in counts:
-            cycles = runner.solo(name, channels=count)["cycles"]
-            series.append((count, base / cycles))
+            result = _maybe(lambda n=name, c=count: runner.solo(n, channels=c))
+            if result is not None:
+                series.append((count, base / result["cycles"]))
         per_workload[name] = series
-    return {"channel_counts": counts, "speedup": per_workload}
+    return _attach_failures(
+        {"channel_counts": counts, "speedup": per_workload}, runner
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -618,34 +749,47 @@ def _ptw_partition_sweep(
     mixes = list(mixes) if mixes is not None else all_mixes(2)
     runner.run_many(ptw_partition_specs(runner, mixes))
     per_core = runner.per_core["num_ptw"] * _PTW_PER_CORE_FACTOR
-    ideal = {
-        name: runner.solo(
-            name,
-            channels=runner.per_core["channels"] * 2,
-            num_ptw=per_core * 2,
-            tlb_entries=runner.per_core["tlb_entries"] * 2,
-        )["cycles"]
-        for name in zoo.NAMES
-    }
+    ideal = {}
+    for name in zoo.NAMES:
+        result = _maybe(
+            lambda n=name: runner.solo(
+                n,
+                channels=runner.per_core["channels"] * 2,
+                num_ptw=per_core * 2,
+                tlb_entries=runner.per_core["tlb_entries"] * 2,
+            )
+        )
+        if result is not None:
+            ideal[name] = result["cycles"]
     per_mix: dict[str, dict[str, list[float]]] = {}
     for mix in mixes:
         label = mix_label(mix)
         schemes: dict[str, list[float]] = {}
+        baselines_known = all(name in ideal for name in mix)
         for left, right in PTW_SPLITS:
-            results = runner.mix(
-                mix,
-                SharingLevel.D,
-                ptw_split=(left, right),
-                num_ptw_per_core=per_core,
+            results = _maybe(
+                lambda m=mix, sp=(left, right): runner.mix(
+                    m,
+                    SharingLevel.D,
+                    ptw_split=sp,
+                    num_ptw_per_core=per_core,
+                )
             )
-            schemes[f"{left}:{right}"] = [
+            if results is not None and baselines_known:
+                schemes[f"{left}:{right}"] = [
+                    ideal[name] / result["cycles"]
+                    for name, result in zip(mix, results)
+                ]
+        dynamic = _maybe(
+            lambda m=mix: runner.mix(
+                m, SharingLevel.DW, num_ptw_per_core=per_core
+            )
+        )
+        if dynamic is not None and baselines_known:
+            schemes["Dynamic"] = [
                 ideal[name] / result["cycles"]
-                for name, result in zip(mix, results)
+                for name, result in zip(mix, dynamic)
             ]
-        dynamic = runner.mix(mix, SharingLevel.DW, num_ptw_per_core=per_core)
-        schemes["Dynamic"] = [
-            ideal[name] / result["cycles"] for name, result in zip(mix, dynamic)
-        ]
         per_mix[label] = schemes
     scheme_names = [f"{l}:{r}" for l, r in PTW_SPLITS] + ["Dynamic"]
     return {
@@ -665,11 +809,17 @@ def fig13_ptw_partition_performance(
     for scheme in sweep["schemes"]:
         values = []
         for label in sweep["mixes"]:
-            value = geomean(sweep["per_mix"][label][scheme])
+            speeds = sweep["per_mix"][label].get(scheme)
+            if not speeds:
+                continue
+            value = geomean(speeds)
             per_mix.setdefault(label, {})[scheme] = value
             values.append(value)
-        overall[scheme] = geomean(values)
-    return {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]}
+        overall[scheme] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]},
+        runner,
+    )
 
 
 def fig14_ptw_partition_fairness(
@@ -682,12 +832,17 @@ def fig14_ptw_partition_fairness(
     for scheme in sweep["schemes"]:
         values = []
         for label in sweep["mixes"]:
-            speeds = sweep["per_mix"][label][scheme]
+            speeds = sweep["per_mix"][label].get(scheme)
+            if not speeds:
+                continue
             value = fairness([1.0 / s for s in speeds])
             per_mix.setdefault(label, {})[scheme] = value
             values.append(value)
-        overall[scheme] = geomean(values)
-    return {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]}
+        overall[scheme] = _safe_geomean(values)
+    return _attach_failures(
+        {"per_mix": per_mix, "overall": overall, "schemes": sweep["schemes"]},
+        runner,
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -712,16 +867,30 @@ def fig15_pagesize_single(runner: ExperimentRunner) -> dict[str, Any]:
     runner.run_many(fig15_specs(runner))
     per_workload: dict[str, dict[str, float]] = {}
     for name in zoo.NAMES:
-        base = runner.solo(name, page_bytes=4096)["cycles"]
-        per_workload[name] = {
-            _PAGE_LABELS[size]: base / runner.solo(name, page_bytes=size)["cycles"]
-            for size in PAGE_SIZES[1:]
-        }
+        baseline = _maybe(lambda n=name: runner.solo(n, page_bytes=4096))
+        if baseline is None:
+            continue
+        base = baseline["cycles"]
+        per_workload[name] = {}
+        for size in PAGE_SIZES[1:]:
+            result = _maybe(lambda n=name, s=size: runner.solo(n, page_bytes=s))
+            if result is not None:
+                per_workload[name][_PAGE_LABELS[size]] = (
+                    base / result["cycles"]
+                )
     overall = {
-        label: geomean([per_workload[name][label] for name in zoo.NAMES])
+        label: _safe_geomean(
+            [
+                per_workload[name][label]
+                for name in per_workload
+                if label in per_workload[name]
+            ]
+        )
         for label in ("64KB", "1MB")
     }
-    return {"per_workload": per_workload, "overall": overall}
+    return _attach_failures(
+        {"per_workload": per_workload, "overall": overall}, runner
+    )
 
 
 def fig16_specs(
@@ -764,37 +933,56 @@ def fig16_pagesize_multi(
     }
     for mix in mixes:
         label = mix_label(mix)
-        by_size: dict[int, list[dict[str, Any]]] = {
-            size: runner.mix(mix, SharingLevel.DWT, page_bytes=size)
+        by_size: dict[int, list[dict[str, Any]] | None] = {
+            size: _maybe(
+                lambda m=mix, s=size: runner.mix(
+                    m, SharingLevel.DWT, page_bytes=s
+                )
+            )
             for size in PAGE_SIZES
         }
+        if by_size[4096] is None:
+            continue  # the normalization baseline failed: mix is missing
         perf[label] = {}
         fair[label] = {}
         base = [result["cycles"] for result in by_size[4096]]
         for size in PAGE_SIZES:
-            cycles = [result["cycles"] for result in by_size[size]]
+            results = by_size[size]
+            if results is None:
+                continue
+            cycles = [result["cycles"] for result in results]
             perf[label][_PAGE_LABELS[size]] = geomean(
                 [b / c for b, c in zip(base, cycles)]
             )
-            slowdowns = [
-                result["cycles"] / ideal[size][name]
-                for name, result in zip(mix, by_size[size])
-            ]
-            fair[label][_PAGE_LABELS[size]] = fairness(slowdowns)
+            if all(name in ideal[size] for name in mix):
+                slowdowns = [
+                    result["cycles"] / ideal[size][name]
+                    for name, result in zip(mix, results)
+                ]
+                fair[label][_PAGE_LABELS[size]] = fairness(slowdowns)
     labels = [_PAGE_LABELS[size] for size in PAGE_SIZES]
     overall_perf = {
-        label: geomean([perf[m][label] for m in perf]) for label in labels
+        label: _safe_geomean(
+            [perf[m][label] for m in perf if label in perf[m]]
+        )
+        for label in labels
     }
     overall_fair = {
-        label: geomean([fair[m][label] for m in fair]) for label in labels
+        label: _safe_geomean(
+            [fair[m][label] for m in fair if label in fair[m]]
+        )
+        for label in labels
     }
-    return {
-        "num_cores": num_cores,
-        "performance": perf,
-        "fairness": fair,
-        "overall_performance": overall_perf,
-        "overall_fairness": overall_fair,
-    }
+    return _attach_failures(
+        {
+            "num_cores": num_cores,
+            "performance": perf,
+            "fairness": fair,
+            "overall_performance": overall_perf,
+            "overall_fairness": overall_fair,
+        },
+        runner,
+    )
 
 
 # --------------------------------------------------------------------- #

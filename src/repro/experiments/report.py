@@ -34,6 +34,32 @@ def format_mapping(title: str, mapping: Mapping[str, Any]) -> str:
     )
 
 
+def format_failures(failures: Sequence[Mapping[str, Any]]) -> str:
+    """Render the failure summaries a degraded reducer attaches.
+
+    ``failures`` is the list of :meth:`RunFailure.summary` dicts found
+    under a figure's ``"failures"`` key; the rendering names every spec
+    that could not be simulated so a partially-missing figure is never
+    mistaken for a complete one.
+    """
+    if not failures:
+        return ""
+    rows = [
+        (
+            record.get("label", "?"),
+            record.get("kind", "?"),
+            record.get("attempts", "?"),
+            record.get("error", "?"),
+        )
+        for record in failures
+    ]
+    return format_table(
+        ["spec", "kind", "attempts", "error"],
+        rows,
+        title=f"incomplete: {len(failures)} run(s) failed",
+    )
+
+
 def cdf_summary(points: Sequence[tuple[float, float]]) -> dict[str, float]:
     """p10/p50/p90 summary of a CDF's value axis."""
     if not points:
@@ -46,6 +72,8 @@ def cdf_summary(points: Sequence[tuple[float, float]]) -> dict[str, float]:
 
 
 def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"  # missing data point (the run behind it failed)
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)

@@ -1,24 +1,48 @@
-"""Cached experiment executor built around :class:`RunSpec` descriptors.
+"""Cached, supervised experiment executor built around :class:`RunSpec`.
 
 Every figure of the paper reduces to a fan-out of independent solo/mix
 simulations (see :mod:`repro.experiments.spec` for the taxonomy).  The
-runner's job is to execute such fan-outs efficiently:
+runner's job is to execute such fan-outs efficiently *and to survive
+them*:
 
 * :meth:`ExperimentRunner.plan` / ``plan_*`` — turn parameters into a
   frozen, fully-resolved :class:`RunSpec`;
 * :meth:`ExperimentRunner.run` — execute one spec, cache-first;
 * :meth:`ExperimentRunner.run_many` — deduplicate a batch of specs,
-  satisfy cache hits, then shard the cold runs across a
+  satisfy cache hits, then shard the cold runs across a supervised
   ``ProcessPoolExecutor`` (``jobs`` workers), writing one cache shard per
   completed run and reporting progress/ETA through a pluggable callback.
 
-Workers rebuild the whole simulation from the spec alone (plus the
-pickled network topologies), so parallel and serial execution produce
-byte-identical cache files and results.
+Supervision (the fault-tolerance layer):
 
-Runs are memoized on disk (JSON, keyed by a hash of every parameter), so
-re-generating a figure after the first sweep is instant and benchmark
-reruns do not repay the simulation cost.
+* **Per-run timeouts** — each worker arms a SIGALRM wall-clock budget
+  (``run_timeout``); the parent additionally hard-kills the pool when a
+  worker overshoots the budget plus a grace period, so even a worker
+  stuck in uninterruptible simulation code cannot wedge a sweep.
+* **Bounded retries with backoff** — retriable failures (killed worker
+  processes, :class:`TransientWorkerError`) are requeued up to
+  ``max_attempts`` executions with exponential backoff.  After a pool
+  breakage the formerly in-flight specs re-run *one at a time* so a
+  recurring crash is attributed to the spec that causes it instead of
+  burning the attempts of innocent co-runners.
+* **Failure isolation** — a spec that exhausts its attempts (or fails
+  deterministically) becomes a structured :class:`RunFailure` in
+  ``runner.failures`` instead of aborting the batch; every other spec
+  still completes and is cached.
+* **Crash-safe cache** — shards are written atomically (unique temp file
+  + ``os.replace``) with a checksum sidecar; shards that fail validation
+  on read (truncated JSON, descriptor/results-version mismatch, checksum
+  mismatch) are quarantined to ``<cache_dir>/quarantine/`` with a logged
+  warning and transparently re-run.
+* **Sweep journal** — every sweep appends to ``<cache_dir>/journal.jsonl``
+  (one JSON object per line: submissions, completions, retries,
+  failures, quarantines).  Because results are cache-first, re-running an
+  interrupted sweep re-executes only the missing specs — the journal
+  records what happened, the cache makes resume automatic.
+
+Workers rebuild the whole simulation from the spec alone (plus the
+pickled network topologies), so parallel, serial, and retried execution
+produce byte-identical cache files and results.
 
 The kwarg-form ``solo()`` / ``ideal()`` / ``static_equal()`` / ``mix()``
 methods remain as thin wrappers that build a :class:`RunSpec` internally;
@@ -28,31 +52,81 @@ new code should plan specs and call :meth:`run_many`.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import logging
+import os
+import signal
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.config import presets
 from repro.core.sharing import SharingLevel
-from repro.core.simulator import MultiCoreNPUSim, WorkloadResult
+from repro.core.simulator import (
+    DEFAULT_STALL_WINDOW_TICKS,
+    MultiCoreNPUSim,
+    WorkloadResult,
+)
+from repro.errors import (
+    RunFailedError,
+    RunFailure,
+    RunTimeoutError,
+    SimulationStallError,
+    SweepOutcome,
+    TransientWorkerError,
+)
+from repro.experiments import faults as faults_module
 from repro.experiments.spec import RESULTS_VERSION, RunSpec
 from repro.models import zoo
 
 __all__ = [
     "DEFAULT_MAX_TICKS",
+    "DEFAULT_MAX_ATTEMPTS",
+    "DEFAULT_RETRY_BACKOFF",
     "MIX_STAGGER_CYCLES",
     "RESULTS_VERSION",
     "ExperimentRunner",
+    "RunFailedError",
+    "RunFailure",
     "RunProgress",
     "RunSpec",
+    "SweepJournal",
+    "SweepOutcome",
 ]
+
+_LOG = logging.getLogger("repro.experiments.runner")
 
 #: Safety valve: a run exceeding this many global ticks raises instead of
 #: spinning forever.
 DEFAULT_MAX_TICKS = 50_000_000_000
+
+#: Executions (first try + retries) a retriable spec may consume.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Base of the exponential retry backoff, in seconds.
+DEFAULT_RETRY_BACKOFF = 0.5
+
+#: Longest single backoff sleep, in seconds.
+MAX_BACKOFF_SECONDS = 30.0
+
+#: Extra wall-clock slack the parent grants past ``run_timeout`` before
+#: hard-killing a worker whose SIGALRM apparently never fired.
+TIMEOUT_GRACE_SECONDS = 5.0
+
+#: How often the parent wakes to check for overdue workers.
+_POLL_INTERVAL_SECONDS = 0.25
+
+#: File name of the sweep journal inside the cache directory.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Subdirectory of the cache holding quarantined corrupt shards.
+QUARANTINE_DIR = "quarantine"
 
 #: Re-exported for back-compat; the constant lives with the presets now.
 MIX_STAGGER_CYCLES = presets.MIX_STAGGER_CYCLES
@@ -66,26 +140,142 @@ def _result_dict(result: WorkloadResult) -> dict[str, Any]:
 
 
 def _execute_spec(
-    spec: RunSpec, networks: Sequence[Any], max_ticks: int
+    spec: RunSpec,
+    networks: Sequence[Any],
+    max_ticks: int,
+    stall_window: int | None = None,
 ) -> list[dict[str, Any]]:
-    """Run one spec to completion; the process-pool worker entry point.
+    """Run one spec to completion (no supervision — the bare simulation).
 
     Deliberately a module-level function of picklable arguments: workers
     reconstruct the simulator purely from the spec plus the network
     topologies, so results cannot depend on parent-process state.
     """
-    sim = MultiCoreNPUSim(spec.system(), list(networks))
+    sim = MultiCoreNPUSim(
+        spec.system(), list(networks), stall_window_ticks=stall_window
+    )
     mix_result = sim.run(max_ticks=max_ticks)
     return [_result_dict(result) for result in mix_result.workloads]
+
+
+def _supervised_execute(
+    spec: RunSpec,
+    networks: Sequence[Any],
+    max_ticks: int,
+    *,
+    stall_window: int | None = None,
+    timeout: float | None = None,
+    attempt: int = 1,
+    fault: "faults_module.Fault | None" = None,
+    in_pool: bool = False,
+) -> list[dict[str, Any]]:
+    """The supervised worker entry point: fault hook + wall-clock budget.
+
+    When ``timeout`` is set, a SIGALRM interval timer bounds the whole
+    execution; the handler raises :class:`RunTimeoutError` from wherever
+    the simulation happens to be.  This relies on workers running tasks
+    in their main thread (true for ``ProcessPoolExecutor`` workers and
+    for serial in-process execution).
+    """
+    def execute() -> list[dict[str, Any]]:
+        if fault is not None:
+            faults_module.trigger(
+                fault, spec, tuple(networks), attempt=attempt,
+                timeout=timeout, in_pool=in_pool,
+            )
+        return _execute_spec(spec, networks, max_ticks, stall_window)
+
+    if timeout is None:
+        return execute()
+
+    def on_alarm(signum: int, frame: Any) -> None:
+        raise RunTimeoutError(
+            f"run exceeded {timeout:.1f}s wall clock: {spec.label}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        return execute()
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _failure_kind(error: BaseException) -> str:
+    """Classify a terminal exception for :class:`RunFailure.kind`."""
+    if isinstance(error, RunTimeoutError):
+        return "timeout"
+    if isinstance(error, SimulationStallError):
+        return "stall"
+    if isinstance(error, (TransientWorkerError, BrokenProcessPool)):
+        return "crash"
+    return "error"
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when its workers are stuck in simulation.
+
+    ``shutdown`` alone waits on workers that may never look at the call
+    queue again, so kill the processes first.  ``_processes`` is CPython
+    implementation detail; guarded so exotic executors degrade to a
+    plain shutdown.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            if process.is_alive():
+                process.terminate()
+        except Exception:  # pragma: no cover - racing process exit
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+class SweepJournal:
+    """Append-only JSONL record of sweep execution events.
+
+    One JSON object per line, each with an ``event`` tag and a wall-clock
+    ``ts``.  Journaling is strictly best-effort: a full disk or read-only
+    cache must never take down the sweep itself, so write errors are
+    swallowed, and :meth:`read` skips lines truncated by a crash.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+
+    def append(self, event: str, **fields: Any) -> None:
+        """Record one event; silently drops the record on OS errors."""
+        record = {"event": event, "ts": round(time.time(), 3), **fields}
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:  # pragma: no cover - depends on filesystem state
+            pass
+
+    def read(self) -> list[dict[str, Any]]:
+        """Every parseable record, oldest first (corrupt lines skipped)."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return []
+        records = []
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
 
 
 @dataclass(frozen=True)
 class RunProgress:
     """One progress event from :meth:`ExperimentRunner.run_many`.
 
-    ``completed`` counts specs whose results are available (cache hits
-    included); ``eta_seconds`` extrapolates from the cold runs finished
-    so far and is ``None`` until the first one lands.
+    ``completed`` counts specs whose outcome is settled (cache hits and
+    failures included); ``eta_seconds`` extrapolates from the cold runs
+    settled so far and is ``None`` until the first one lands.
     """
 
     completed: int
@@ -94,6 +284,7 @@ class RunProgress:
     spec: RunSpec | None
     elapsed_seconds: float
     eta_seconds: float | None
+    failed: int = 0
 
 
 #: Signature of the pluggable progress reporter.
@@ -101,7 +292,7 @@ ProgressCallback = Callable[[RunProgress], None]
 
 
 class ExperimentRunner:
-    """Plans, executes (and caches) the simulations behind every figure."""
+    """Plans, executes (supervises, caches) the simulations behind every figure."""
 
     def __init__(
         self,
@@ -110,19 +301,47 @@ class ExperimentRunner:
         max_ticks: int = DEFAULT_MAX_TICKS,
         jobs: int = 1,
         progress: ProgressCallback | None = None,
+        *,
+        run_timeout: float | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        stall_window_ticks: int | None = DEFAULT_STALL_WINDOW_TICKS,
+        fault_plan: "faults_module.FaultPlan | None" = None,
+        journal: bool = True,
     ) -> None:
+        """``run_timeout`` bounds each run's wall clock (seconds, ``None``
+        = unbounded); ``max_attempts`` caps executions per retriable spec;
+        ``stall_window_ticks`` arms the engine stall watchdog (``None``
+        disables it); ``fault_plan`` injects deterministic failures for
+        testing; ``journal=False`` turns off the sweep journal.
+        """
         self.scale = scale
         self.max_ticks = max_ticks
         self.jobs = max(1, jobs)
         self.progress = progress
+        self.run_timeout = run_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.retry_backoff = max(0.0, retry_backoff)
+        self.stall_window_ticks = stall_window_ticks
+        self.fault_plan = fault_plan
         if cache_dir is None:
             cache_dir = Path.cwd() / ".repro_cache"
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.journal: SweepJournal | None = (
+            SweepJournal(self.cache_dir / JOURNAL_NAME) if journal else None
+        )
         self.per_core = presets.per_core_resources(scale)
         self.runs_executed = 0
         self.cache_hits = 0
+        self.quarantined = 0
+        #: Spec -> terminal failure record, from this runner's lifetime.
+        self.failures: dict[RunSpec, RunFailure] = {}
+        #: Aggregate of the most recent :meth:`run_many` batch.
+        self.last_outcome: SweepOutcome | None = None
         self._networks: dict[str, Any] = {}
+        # Injectable for tests: supervision sleeps (backoff) route here.
+        self._sleep: Callable[[float], None] = time.sleep
 
     def register_network(self, network: Any) -> None:
         """Make a non-zoo network (e.g. a random net) runnable by name.
@@ -238,43 +457,219 @@ class ExperimentRunner:
         )
 
     # ------------------------------------------------------------------ #
-    # Cache plumbing
+    # Cache plumbing (crash-safe)
     # ------------------------------------------------------------------ #
 
     def _cache_path(self, spec: RunSpec) -> Path:
         return self.cache_dir / f"{spec.cache_key()}.json"
 
-    def _cached(self, spec: RunSpec) -> list[dict[str, Any]] | None:
-        path = self._cache_path(spec)
-        if path.exists():
-            self.cache_hits += 1
-            return json.loads(path.read_text())["results"]
-        return None
+    @staticmethod
+    def _checksum_path(path: Path) -> Path:
+        return path.with_name(path.name + ".sum")
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        """Write ``data`` so readers only ever see absent or complete files.
+
+        The temp name embeds the pid, so concurrent runners sharing one
+        cache directory never clobber each other's in-progress writes;
+        ``os.replace`` makes publication atomic on POSIX filesystems.
+        """
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
 
     def _store(self, spec: RunSpec, results: list[dict[str, Any]]) -> None:
-        self._cache_path(spec).write_text(
-            json.dumps(
-                {"descriptor": spec.descriptor(), "results": results}, indent=1
-            )
+        path = self._cache_path(spec)
+        # The shard byte format is pinned by the golden-equivalence suite;
+        # integrity metadata therefore lives in a sidecar, not the shard.
+        payload = json.dumps(
+            {"descriptor": spec.descriptor(), "results": results}, indent=1
+        ).encode("utf-8")
+        self._atomic_write(path, payload)
+        self._atomic_write(
+            self._checksum_path(path),
+            hashlib.sha256(payload).hexdigest().encode("ascii"),
         )
+
+    def _validate_shard(
+        self, spec: RunSpec, raw: bytes
+    ) -> tuple[list[dict[str, Any]] | None, str | None]:
+        """``(results, None)`` when the shard is sound, else ``(None, reason)``."""
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            return None, "unparseable JSON (truncated write?)"
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("results"), list
+        ):
+            return None, "malformed shard structure"
+        descriptor = payload.get("descriptor")
+        if descriptor != spec.descriptor():
+            if (
+                isinstance(descriptor, dict)
+                and descriptor.get("version") != RESULTS_VERSION
+            ):
+                return None, (
+                    f"results-version mismatch "
+                    f"({descriptor.get('version')} != {RESULTS_VERSION})"
+                )
+            return None, "descriptor does not match spec"
+        return payload["results"], None
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt shard (and its sidecar) out of the cache."""
+        quarantine = self.cache_dir / QUARANTINE_DIR
+        quarantine.mkdir(exist_ok=True)
+        target = quarantine / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine / f"{path.name}.{suffix}"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - lost a race with another runner
+            path.unlink(missing_ok=True)
+        self._checksum_path(path).unlink(missing_ok=True)
+        self.quarantined += 1
+        _LOG.warning(
+            "quarantined corrupt cache shard %s (%s); the spec will re-run",
+            path.name,
+            reason,
+        )
+        self._journal("quarantine", shard=path.name, reason=reason)
+
+    def _cached(self, spec: RunSpec) -> list[dict[str, Any]] | None:
+        path = self._cache_path(spec)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        results, reason = self._validate_shard(spec, raw)
+        if results is not None:
+            checksum_path = self._checksum_path(path)
+            try:
+                expected = checksum_path.read_text(encoding="ascii").strip()
+            except OSError:
+                expected = ""  # sidecar optional: pre-existing caches lack it
+            if expected and expected != hashlib.sha256(raw).hexdigest():
+                results, reason = None, "payload checksum mismatch"
+        if results is None:
+            self._quarantine(path, reason or "unknown corruption")
+            return None
+        self.cache_hits += 1
+        return results
+
+    def _journal(self, event: str, **fields: Any) -> None:
+        if self.journal is not None:
+            self.journal.append(event, **fields)
+
+    # ------------------------------------------------------------------ #
+    # Supervision primitives
+    # ------------------------------------------------------------------ #
+
+    def _fault_for(self, spec: RunSpec) -> "faults_module.Fault | None":
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.lookup(spec)
+
+    def _backoff(self, attempt: int) -> float:
+        """Sleep before retry ``attempt + 1``: exponential, capped."""
+        return min(
+            MAX_BACKOFF_SECONDS, self.retry_backoff * (2 ** (attempt - 1))
+        )
+
+    def _failure(
+        self,
+        spec: RunSpec,
+        kind: str,
+        attempts: int,
+        error: BaseException,
+        started: float,
+    ) -> RunFailure:
+        trace = "".join(
+            traceback_module.format_exception(type(error), error, error.__traceback__)
+        )
+        return RunFailure(
+            spec=spec,
+            kind=kind,
+            attempts=attempts,
+            error=f"{type(error).__name__}: {error}",
+            traceback=trace,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+    def _execute_with_retry(self, spec: RunSpec) -> list[dict[str, Any]]:
+        """In-process execution with timeout + bounded retries.
+
+        Raises :class:`RunFailedError` (failure attached, not yet
+        recorded) when the spec fails terminally.
+        """
+        networks = [self._network(name) for name in spec.workloads]
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            try:
+                return _supervised_execute(
+                    spec,
+                    networks,
+                    self.max_ticks,
+                    stall_window=self.stall_window_ticks,
+                    timeout=self.run_timeout,
+                    attempt=attempt,
+                    fault=self._fault_for(spec),
+                    in_pool=False,
+                )
+            except TransientWorkerError as error:
+                if attempt >= self.max_attempts:
+                    raise RunFailedError(
+                        self._failure(spec, "crash", attempt, error, started)
+                    ) from error
+                self._journal(
+                    "retry",
+                    key=spec.cache_key(),
+                    label=spec.label,
+                    attempt=attempt,
+                    error=str(error),
+                )
+                self._sleep(self._backoff(attempt))
+                attempt += 1
+            except Exception as error:
+                raise RunFailedError(
+                    self._failure(
+                        spec, _failure_kind(error), attempt, error, started
+                    )
+                ) from error
 
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
 
     def run(self, spec: RunSpec) -> list[dict[str, Any]]:
-        """Execute one spec in-process, cache-first."""
+        """Execute one spec in-process, cache-first.
+
+        Raises :class:`RunFailedError` when the spec fails terminally —
+        including when a previous :meth:`run_many` batch already recorded
+        the spec in :attr:`failures` (so figure reducers consuming a
+        partially-failed sweep get a typed error, not a re-execution).
+        """
         spec = self.plan(spec)
         cached = self._cached(spec)
         if cached is not None:
+            self.failures.pop(spec, None)
             return cached
-        results = _execute_spec(
-            spec,
-            [self._network(name) for name in spec.workloads],
-            self.max_ticks,
-        )
+        failure = self.failures.get(spec)
+        if failure is not None:
+            raise RunFailedError(failure)
+        try:
+            results = self._execute_with_retry(spec)
+        except RunFailedError as error:
+            self.failures[spec] = error.failure
+            self._journal("fail", **error.failure.summary())
+            raise
         self._store(spec, results)
         self.runs_executed += 1
+        self._journal("done", key=spec.cache_key(), label=spec.label)
         return results
 
     def run_many(
@@ -287,10 +682,15 @@ class ExperimentRunner:
 
         The batch is deduplicated (specs are frozen and hashable), cache
         hits are satisfied first, and the remaining cold runs are sharded
-        across a process pool.  The parent process writes one cache shard
-        per completed run — workers never touch the cache directory — and
-        reports progress through ``progress`` (or the runner's default
-        callback) after every completion.
+        across a supervised process pool.  The parent process writes one
+        cache shard per completed run — workers never touch the cache
+        directory — and reports progress through ``progress`` (or the
+        runner's default callback) after every settled spec.
+
+        A spec that fails terminally does **not** abort the batch: it is
+        recorded in :attr:`failures` (and the sweep journal) and simply
+        omitted from the returned mapping.  Check :attr:`last_outcome`
+        for the batch aggregate.
 
         Returns a mapping from each *planned* spec to its per-workload
         result dicts; look results up with the specs returned by the
@@ -303,6 +703,9 @@ class ExperimentRunner:
         results: dict[RunSpec, list[dict[str, Any]]] = {}
         cold: list[RunSpec] = []
         for spec in ordered:
+            # A new batch is a fresh start: stale failure records must not
+            # mask a spec that might succeed now.
+            self.failures.pop(spec, None)
             cached = self._cached(spec)
             if cached is not None:
                 results[spec] = cached
@@ -310,6 +713,14 @@ class ExperimentRunner:
                 cold.append(spec)
         hits = len(results)
         cold_done = 0
+        batch_failures: list[RunFailure] = []
+        self._journal(
+            "sweep",
+            total=len(ordered),
+            cache_hits=hits,
+            cold=len(cold),
+            jobs=jobs,
+        )
 
         def report(spec: RunSpec | None) -> None:
             if progress is None:
@@ -326,6 +737,7 @@ class ExperimentRunner:
                     spec=spec,
                     elapsed_seconds=elapsed,
                     eta_seconds=eta,
+                    failed=len(batch_failures),
                 )
             )
 
@@ -335,37 +747,210 @@ class ExperimentRunner:
             self.runs_executed += 1
             results[spec] = payload
             cold_done += 1
+            self._journal("done", key=spec.cache_key(), label=spec.label)
+            report(spec)
+
+        def fail(spec: RunSpec, failure: RunFailure) -> None:
+            nonlocal cold_done
+            self.failures[spec] = failure
+            batch_failures.append(failure)
+            cold_done += 1
+            self._journal("fail", **failure.summary())
+            _LOG.warning(
+                "spec failed after %d attempt(s): %s: %s",
+                failure.attempts,
+                failure.label,
+                failure.error,
+            )
             report(spec)
 
         report(None)
-        if not cold:
-            return results
-        if jobs == 1 or len(cold) == 1:
-            for spec in cold:
-                finish(
-                    spec,
-                    _execute_spec(
-                        spec,
-                        [self._network(name) for name in spec.workloads],
-                        self.max_ticks,
-                    ),
-                )
-            return results
-        with ProcessPoolExecutor(max_workers=min(jobs, len(cold))) as pool:
-            pending = {
-                pool.submit(
-                    _execute_spec,
+        if cold:
+            if jobs == 1 or len(cold) == 1:
+                self._run_serial(cold, finish, fail)
+            else:
+                self._run_pool(cold, jobs, finish, fail)
+        self.last_outcome = SweepOutcome(
+            total=len(ordered),
+            cache_hits=hits,
+            executed=len(cold) - len(batch_failures),
+            failures=tuple(batch_failures),
+        )
+        return results
+
+    def _run_serial(
+        self,
+        cold: Sequence[RunSpec],
+        finish: Callable[[RunSpec, list[dict[str, Any]]], None],
+        fail: Callable[[RunSpec, RunFailure], None],
+    ) -> None:
+        for spec in cold:
+            try:
+                payload = self._execute_with_retry(spec)
+            except RunFailedError as error:
+                fail(spec, error.failure)
+            else:
+                finish(spec, payload)
+
+    def _run_pool(
+        self,
+        cold: Sequence[RunSpec],
+        jobs: int,
+        finish: Callable[[RunSpec, list[dict[str, Any]]], None],
+        fail: Callable[[RunSpec, RunFailure], None],
+    ) -> None:
+        """The supervised parallel executor.
+
+        Invariants:
+
+        * ``pending`` holds (spec, attempt) pairs not yet submitted;
+          ``inflight`` maps live futures to (spec, attempt, start time).
+        * After a pool breakage, every formerly in-flight retriable spec
+          moves to ``suspects`` and re-runs strictly one at a time (the
+          pool is drained first), so a spec that *reliably* kills its
+          worker crashes alone and is attributed correctly, while specs
+          that were innocent bystanders complete on their isolated run.
+        * When ``run_timeout`` is set, the parent polls for workers that
+          overshot the budget plus :data:`TIMEOUT_GRACE_SECONDS` (their
+          in-worker SIGALRM evidently never fired) and hard-kills the
+          pool; the overdue specs fail as timeouts, the rest re-run.
+        """
+        workers = min(jobs, len(cold))
+        pending: deque[tuple[RunSpec, int]] = deque((spec, 1) for spec in cold)
+        suspects: deque[tuple[RunSpec, int]] = deque()
+        inflight: dict[Future, tuple[RunSpec, int, float]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        hard_limit = (
+            None
+            if self.run_timeout is None
+            else self.run_timeout + TIMEOUT_GRACE_SECONDS
+        )
+
+        def submit(spec: RunSpec, attempt: int, origin: deque) -> bool:
+            try:
+                future = pool.submit(
+                    _supervised_execute,
                     spec,
                     tuple(self._network(name) for name in spec.workloads),
                     self.max_ticks,
-                ): spec
-                for spec in cold
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    stall_window=self.stall_window_ticks,
+                    timeout=self.run_timeout,
+                    attempt=attempt,
+                    fault=self._fault_for(spec),
+                    in_pool=True,
+                )
+            except BrokenProcessPool:
+                origin.appendleft((spec, attempt))
+                return False
+            inflight[future] = (spec, attempt, time.monotonic())
+            return True
+
+        def rebuild() -> None:
+            nonlocal pool
+            _terminate_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+
+        def handle_breakage(timed_out: set[RunSpec] | None = None) -> None:
+            # Pool death took every in-flight run with it; settle each one.
+            timed_out = timed_out or set()
+            solo = len(inflight) == 1
+            for spec, attempt, t0 in list(inflight.values()):
+                if spec in timed_out:
+                    assert self.run_timeout is not None
+                    error: BaseException = RunTimeoutError(
+                        f"run exceeded {self.run_timeout:.1f}s wall clock "
+                        f"(worker killed): {spec.label}"
+                    )
+                    fail(spec, self._failure(spec, "timeout", attempt, error, t0))
+                elif attempt >= self.max_attempts:
+                    error = TransientWorkerError(
+                        "worker process died (BrokenProcessPool)"
+                    )
+                    fail(spec, self._failure(spec, "crash", attempt, error, t0))
+                else:
+                    self._journal(
+                        "requeue",
+                        key=spec.cache_key(),
+                        label=spec.label,
+                        attempt=attempt,
+                        isolated=solo,
+                    )
+                    suspects.append((spec, attempt + 1))
+            inflight.clear()
+            if suspects:
+                self._sleep(self._backoff(max(1, suspects[0][1] - 1)))
+            rebuild()
+
+        try:
+            while pending or suspects or inflight:
+                if not inflight and suspects:
+                    # One suspect at a time: crashes become attributable.
+                    spec, attempt = suspects.popleft()
+                    if not submit(spec, attempt, suspects):
+                        handle_breakage()
+                        continue
+                elif not suspects:
+                    broke = False
+                    while pending and len(inflight) < workers:
+                        spec, attempt = pending.popleft()
+                        if not submit(spec, attempt, pending):
+                            handle_breakage()
+                            broke = True
+                            break
+                    if broke:
+                        continue
+                if not inflight:
+                    continue
+                poll = _POLL_INTERVAL_SECONDS if hard_limit is not None else None
+                done, _ = wait(
+                    list(inflight), timeout=poll, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    now = time.monotonic()
+                    assert hard_limit is not None
+                    overdue = {
+                        spec
+                        for spec, _attempt, t0 in inflight.values()
+                        if now - t0 > hard_limit
+                    }
+                    if overdue:
+                        handle_breakage(timed_out=overdue)
+                    continue
                 for future in done:
-                    finish(pending.pop(future), future.result())
-        return results
+                    spec, attempt, t0 = inflight.pop(future)
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        inflight[future] = (spec, attempt, t0)
+                        handle_breakage()
+                        break
+                    except TransientWorkerError as error:
+                        if attempt >= self.max_attempts:
+                            fail(
+                                spec,
+                                self._failure(spec, "crash", attempt, error, t0),
+                            )
+                        else:
+                            self._journal(
+                                "retry",
+                                key=spec.cache_key(),
+                                label=spec.label,
+                                attempt=attempt,
+                                error=str(error),
+                            )
+                            self._sleep(self._backoff(attempt))
+                            pending.appendleft((spec, attempt + 1))
+                    except Exception as error:
+                        fail(
+                            spec,
+                            self._failure(
+                                spec, _failure_kind(error), attempt, error, t0
+                            ),
+                        )
+                    else:
+                        finish(spec, payload)
+        finally:
+            _terminate_pool(pool)
 
     # ------------------------------------------------------------------ #
     # Back-compat kwarg API (thin wrappers over RunSpec)

@@ -190,3 +190,27 @@ class TestTraceOption:
         for line in lines:
             name, cycles = line.split()
             assert int(cycles) >= 0
+
+
+class TestFaultToleranceOptions:
+    def test_quiet_and_run_timeout_flags_parse(self, tmp_path):
+        # Still unknown-figure, but only after both flags parsed cleanly.
+        with pytest.raises(SystemExit, match="unknown figure"):
+            main([
+                "figure", "fig99", "--quiet", "--run-timeout", "30",
+                "--cache-dir", str(tmp_path),
+            ])
+
+    def test_mix_stall_window_zero_disables_watchdog(self, capsys):
+        code = main(["mix", "ncf", "ncf", "--sharing", "DWT", "--stall-window", "0"])
+        assert code == 0
+        assert capsys.readouterr().out.count("cycles") == 2
+
+    def test_tiny_stall_window_aborts_with_diagnostics(self):
+        # A 1-tick window trips immediately; the abort message carries the
+        # watchdog's per-core diagnostics rather than a bare error.
+        with pytest.raises(SystemExit, match="livelocked") as excinfo:
+            main(["mix", "ncf", "ncf", "--stall-window", "1"])
+        message = str(excinfo.value)
+        assert message.startswith("simulation aborted:")
+        assert "core 0 (ncf)" in message
