@@ -25,6 +25,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.compute import tracecache
 from repro.compute.requestgen import RequestGenerator
 from repro.config import (
     load_arch_config,
@@ -108,6 +109,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         share_tlb=not args.static_tlb,
     )
     networks = [zoo.get(name, args.scale) for name in network_names]
+    tracecache.configure(enabled=not args.no_trace_cache)
     sim = MultiCoreNPUSim(
         system,
         networks,
@@ -152,6 +154,7 @@ def _cmd_mix(args: argparse.Namespace) -> int:
         raise SystemExit(str(error)) from error
     system = spec.system()
     networks = [zoo.get(name, args.scale) for name in names]
+    tracecache.configure(enabled=not args.no_trace_cache)
     sim = MultiCoreNPUSim(system, networks, stall_window_ticks=args.stall_window)
     result = _run_sim(sim, args.max_ticks)
     for workload in result.workloads:
@@ -179,6 +182,27 @@ def _print_progress(event) -> None:
     print(
         f"[{event.completed}/{event.total}] {label} "
         f"({event.cache_hits} cached, {event.elapsed_seconds:.1f}s{eta}{failed})",
+        file=sys.stderr,
+    )
+
+
+def _print_cache_summary(runner, quiet: bool) -> None:
+    """Structured one-line cache-hit summary after a figure/sweep batch."""
+    if quiet or runner.last_outcome is None:
+        return
+    outcome = runner.last_outcome
+    trace = runner.last_trace_stats
+    if trace is None:
+        trace_part = "trace-cache off"
+    else:
+        trace_part = (
+            f"traces {trace.requests} distinct: {trace.hits} hit "
+            f"(memo {trace.memo_hits}, disk {trace.disk_hits}), "
+            f"{trace.compiles} compiled, hit-rate {trace.hit_rate:.2f}"
+        )
+    print(
+        f"cache: results {outcome.cache_hits}/{outcome.total} cached; "
+        f"{trace_part}",
         file=sys.stderr,
     )
 
@@ -239,6 +263,7 @@ def _make_runner(args: argparse.Namespace):
         jobs=args.jobs,
         progress=None if args.quiet else _print_progress,
         run_timeout=args.run_timeout,
+        trace_cache=not args.no_trace_cache,
     )
 
 
@@ -252,6 +277,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     if args.name not in producers:
         raise SystemExit(f"unknown figure {args.name!r}; pick one of {sorted(producers)}")
     data = _round4(producers[args.name]())
+    _print_cache_summary(runner, args.quiet)
     print(format_mapping(f"{args.name} (scale={args.scale})", data))
     return _report_failures(runner)
 
@@ -281,6 +307,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for spec in figures.FIGURE_PLANNERS[name](runner, dual, quad)
     ]
     runner.run_many(specs)
+    _print_cache_summary(runner, args.quiet)
     for name in args.names:
         data = _round4(producers[name]())
         print(format_mapping(f"{name} (scale={args.scale})", data))
@@ -324,6 +351,43 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         "--run-timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock budget; overruns fail the spec, not the sweep",
     )
+    _add_no_trace_cache_option(parser)
+
+
+def _add_no_trace_cache_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the compiled-frontend trace cache (escape hatch: "
+             "every run regenerates its request traces live)",
+    )
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk result and trace shard stores."""
+    from repro.storage import ShardStore
+
+    cache_dir = (
+        Path(args.cache_dir) if args.cache_dir else Path.cwd() / ".repro_cache"
+    )
+    stores = {
+        "results": ShardStore(cache_dir),
+        "traces": ShardStore(cache_dir / "traces"),
+    }
+    kinds = [args.only] if args.only else list(stores)
+    if args.action == "stats":
+        for kind in kinds:
+            store = stores[kind]
+            usage = store.usage()
+            print(
+                f"{kind:8s} {usage['shards']:5d} shard(s), "
+                f"{usage['bytes']:12d} bytes, "
+                f"{usage['quarantined']} quarantined  ({store.directory})"
+            )
+        return 0
+    for kind in kinds:
+        removed = stores[kind].clear()
+        print(f"cleared {removed} {kind} shard(s) from {stores[kind].directory}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -357,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         help="livelock watchdog: abort when no core retires work for this "
              "many global ticks (0 disables)",
     )
+    _add_no_trace_cache_option(run)
     run.set_defaults(func=_cmd_run)
 
     mix = sub.add_parser("mix", help="co-run named benchmarks under a sharing level")
@@ -374,6 +439,7 @@ def main(argv: list[str] | None = None) -> int:
         help="livelock watchdog: abort when no core retires work for this "
              "many global ticks (0 disables)",
     )
+    _add_no_trace_cache_option(mix)
     mix.set_defaults(func=_cmd_mix)
 
     models = sub.add_parser("models", help="list the bundled benchmark zoo")
@@ -395,6 +461,18 @@ def main(argv: list[str] | None = None) -> int:
                        help="figure names, e.g. fig4 fig6 fig9")
     _add_sweep_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result/trace caches"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default: ./.repro_cache)")
+    cache.add_argument(
+        "--only", choices=("results", "traces"), default=None,
+        help="restrict the action to one shard store",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     args = parser.parse_args(argv)
     return args.func(args)

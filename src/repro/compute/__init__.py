@@ -1,8 +1,15 @@
-"""Compute-side models: systolic-array timing, tiling, request generation."""
+"""Compute-side models: systolic timing, tiling, trace compilation."""
 
 from repro.compute.systolic import gemm_on_array, os_pass_cycles
 from repro.compute.tiling import Tile, TileShape, choose_tile_shape, tiles_for_gemm
 from repro.compute.requestgen import RequestGenerator, Run, TileTraffic
+from repro.compute.tracecache import (
+    CompiledTrace,
+    TraceCache,
+    compile_trace,
+    frontend_fingerprint,
+    trace_source,
+)
 
 __all__ = [
     "os_pass_cycles",
@@ -14,4 +21,9 @@ __all__ = [
     "RequestGenerator",
     "Run",
     "TileTraffic",
+    "CompiledTrace",
+    "TraceCache",
+    "compile_trace",
+    "frontend_fingerprint",
+    "trace_source",
 ]

@@ -38,15 +38,6 @@ _SCATTER_SPREAD = 4
 #: table region deterministically.
 _HASH_MULT = 0x9E3779B1
 
-#: Generated tile traffic is memoized and replayed on later iterations —
-#: cores re-run their workload until the slowest finishes, and traffic
-#: generation is deterministic, so regenerating it per iteration is pure
-#: overhead.  The memo stops growing once it holds this many objects
-#: (tiles + runs) across all layers, so full-scale workloads keep the
-#: original stream-and-discard behavior instead of materializing
-#: gigabytes of request lists.
-_TILE_CACHE_MAX_OBJECTS = 1 << 20
-
 
 @dataclass(frozen=True)
 class Run:
@@ -59,6 +50,23 @@ class Run:
     def __post_init__(self) -> None:
         if self.addr < 0 or self.count <= 0:
             raise ValueError("run needs a non-negative address and positive count")
+
+    @classmethod
+    def _unchecked(cls, addr: int, count: int, write: bool) -> "Run":
+        """Construct without ``__post_init__`` validation.
+
+        Millions of runs are built per compile, all satisfying the
+        generator's layout invariants by construction (non-negative
+        region bases, positive tile extents, positive transaction size —
+        validated once in :meth:`RequestGenerator.__init__`), so the
+        per-instance checks stay on the public constructor for external
+        callers only.
+        """
+        run = object.__new__(cls)
+        object.__setattr__(run, "addr", addr)
+        object.__setattr__(run, "count", count)
+        object.__setattr__(run, "write", write)
+        return run
 
 
 @dataclass(frozen=True)
@@ -107,8 +115,15 @@ class RequestGenerator:
     """
 
     def __init__(self, network: Network, arch: ArchConfig, va_base: int = 0) -> None:
+        # Boundary validation: everything a Run's own checks would verify
+        # is implied by these invariants plus the layout construction
+        # below (bases start at the aligned va_base and only grow, tile
+        # extents are positive), so the hot path builds runs through
+        # Run._unchecked.
         if va_base < 0:
             raise ValueError("virtual base cannot be negative")
+        if arch.dram_transaction_bytes <= 0 or arch.element_bytes <= 0:
+            raise ValueError("transaction and element sizes must be positive")
         self.network = network
         self.arch = arch
         self._txn = arch.dram_transaction_bytes
@@ -133,8 +148,6 @@ class RequestGenerator:
                 )
             )
         self._va_end = cursor
-        self._tile_cache: dict[int, tuple[TileTraffic, ...]] = {}
-        self._cache_budget = _TILE_CACHE_MAX_OBJECTS
         self._summary: dict[str, float] | None = None
 
     # ------------------------------------------------------------------ #
@@ -193,19 +206,12 @@ class RequestGenerator:
     def layer_tiles(self, layer_index: int) -> Iterator[TileTraffic]:
         """Yield the tile traffic of one layer, in execution order.
 
-        Generation is deterministic, so fully-consumed layers are served
-        from a bounded memo on later iterations (the objects are frozen;
-        replaying them is indistinguishable from regenerating).
+        This is the bounded-memory stream-and-discard path: nothing is
+        retained between iterations.  Workloads that fit the trace budget
+        are compiled once into a :class:`~repro.compute.tracecache.
+        CompiledTrace` and replayed from there instead; generation is
+        deterministic, so the two are indistinguishable.
         """
-        cached = self._tile_cache.get(layer_index)
-        if cached is not None:
-            return iter(cached)
-        return self._generate_layer_tiles(layer_index)
-
-    def _generate_layer_tiles(self, layer_index: int) -> Iterator[TileTraffic]:
-        collected: list[TileTraffic] | None = (
-            [] if self._cache_budget > 0 else None
-        )
         layout = self._layouts[layer_index]
         gemm = layout.gemm
         for tile in tiles_for_gemm(gemm, layout.shape):
@@ -236,25 +242,13 @@ class RequestGenerator:
                         layout.c_base, gemm.n, tile.m0, tile.tm, tile.n0, tile.tn, write=True
                     )
                 )
-            traffic = TileTraffic(
+            yield TileTraffic(
                 layer_index=layer_index,
                 tile=tile,
                 reads=tuple(reads),
                 writes=writes,
                 compute=gemm_on_array(self.arch, tile.tm, tile.tk, tile.tn),
             )
-            if collected is not None:
-                collected.append(traffic)
-            yield traffic
-        # Only a generator consumed to exhaustion may populate the memo —
-        # an abandoned iteration would cache a truncated layer.
-        if collected is not None and layer_index not in self._tile_cache:
-            cost = sum(
-                1 + len(t.reads) + len(t.writes) for t in collected
-            )
-            if cost <= self._cache_budget:
-                self._cache_budget -= cost
-                self._tile_cache[layer_index] = tuple(collected)
 
     def all_tiles(self) -> Iterator[TileTraffic]:
         """Yield every tile of every layer, in execution order."""
@@ -293,8 +287,13 @@ class RequestGenerator:
             yield self._byte_run(layout.b_base + slot * self._txn, row_bytes, False)
 
     def _byte_run(self, start: int, nbytes: int, write: bool) -> Run:
-        """A transaction-aligned run covering ``[start, start+nbytes)``."""
+        """A transaction-aligned run covering ``[start, start+nbytes)``.
+
+        ``start >= 0`` and ``nbytes > 0`` hold by construction (invariants
+        checked once in ``__init__``), so this uses the unchecked
+        constructor.
+        """
         txn = self._txn
         first = start - (start % txn)
         last = _align_up(start + nbytes, txn)
-        return Run(addr=first, count=(last - first) // txn, write=write)
+        return Run._unchecked(first, (last - first) // txn, write)

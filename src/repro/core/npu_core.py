@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
-from repro.compute.requestgen import RequestGenerator, TileTraffic
+from repro.compute.requestgen import TileTraffic
+from repro.compute.tracecache import TraceSource
 from repro.core.clock import ClockDomain
 from repro.core.dma import DmaEngine
 from repro.core.engine import Engine
@@ -44,14 +45,20 @@ class NpuCore:
         self,
         engine: Engine,
         core_id: int,
-        reqgen: RequestGenerator,
+        trace: TraceSource,
         dma: DmaEngine,
         clock: ClockDomain,
         on_iteration_complete: Callable[[int], None],
     ) -> None:
+        """``trace`` is the replay-phase frontend: either a
+        :class:`~repro.compute.tracecache.CompiledTrace` (the cached
+        compile artifact) or a live stream-and-discard
+        :class:`~repro.compute.requestgen.RequestGenerator`; the two are
+        observationally identical.
+        """
         self.engine = engine
         self.core_id = core_id
-        self.reqgen = reqgen
+        self.trace = trace
         self.dma = dma
         self.clock = clock
         self.on_iteration_complete = on_iteration_complete
@@ -80,6 +87,11 @@ class NpuCore:
         self._halted = True
 
     @property
+    def reqgen(self) -> TraceSource:
+        """Backwards-compatible alias for the core's trace source."""
+        return self.trace
+
+    @property
     def outstanding_writes(self) -> int:
         """Write-back transfers still draining to memory."""
         return self._outstanding_writes
@@ -99,7 +111,7 @@ class NpuCore:
     def _begin_iteration(self) -> None:
         if self._halted:
             return
-        self._tiles = self.reqgen.all_tiles()
+        self._tiles = self.trace.all_tiles()
         self._exhausted = False
         self._fetch_next()
 

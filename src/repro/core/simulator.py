@@ -1,17 +1,19 @@
 """The top-level multi-core NPU simulator (mNPUsim's HW simulator).
 
 :class:`MultiCoreNPUSim` wires together everything the paper's Figure 3
-describes: per-core request generators (SW stack), per-core DMA engines
-and clock domains, the shared MMU (TLBs + walker pool) and the shared
-DRAM controller, then runs the event-driven co-simulation and reports
-per-workload cycle counts, PE utilization and memory-system statistics.
+describes: per-core compiled frontends (the SW stack's per-tile request
+trace, resolved through :mod:`repro.compute.tracecache`), per-core DMA
+engines and clock domains, the shared MMU (TLBs + walker pool) and the
+shared DRAM controller, then replays the traces through the event-driven
+co-simulation and reports per-workload cycle counts, PE utilization and
+memory-system statistics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.compute.requestgen import RequestGenerator
+from repro.compute.tracecache import TraceSource, trace_source
 from repro.config.system import SystemConfig
 from repro.errors import (
     CoreDiagnostics,
@@ -165,10 +167,16 @@ class MultiCoreNPUSim:
             logger=self.tracer,
         )
 
-        self.reqgens = {
-            core: RequestGenerator(self.networks[core], system.arch[core])
+        # The compile phase: each core's frontend is resolved through the
+        # process-level trace cache (a CompiledTrace on hit/compile, a
+        # live stream-and-discard RequestGenerator when disabled or over
+        # budget) before any event executes, so run() is pure replay.
+        self.frontends: dict[int, TraceSource] = {
+            core: trace_source(self.networks[core], system.arch[core])
             for core in cores
         }
+        #: Backwards-compatible alias for :attr:`frontends`.
+        self.reqgens = self.frontends
         self.dmas = {
             core: DmaEngine(
                 self.engine,
@@ -186,7 +194,7 @@ class MultiCoreNPUSim:
             core: NpuCore(
                 self.engine,
                 core,
-                self.reqgens[core],
+                self.frontends[core],
                 self.dmas[core],
                 self.clocks[core],
                 self._iteration_done,
@@ -347,13 +355,13 @@ class MultiCoreNPUSim:
             ticks = stats.first_completion_tick - stats.start_tick
             clock = self.clocks[core_id]
             cycles = clock.to_local(ticks)
-            reqgen = self.reqgens[core_id]
+            frontend = self.frontends[core_id]
             network = self.networks[core_id]
             first_iter_macs = network.total_macs
             busy_local = min(stats.compute_busy_local, cycles)
             walk_stats = self.walkers.stats[core_id]
             mmu_stats = self.mmu.stats[core_id]
-            summary = reqgen.summary()
+            summary = frontend.summary()
             layer_cycles = tuple(
                 clock.to_local(end - begin)
                 for _, (begin, end) in sorted(stats.layer_spans.items())

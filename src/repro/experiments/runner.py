@@ -52,10 +52,8 @@ new code should plan specs and call :meth:`run_many`.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import logging
-import os
 import signal
 import time
 import traceback as traceback_module
@@ -66,7 +64,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.compute import tracecache
 from repro.config import presets
+from repro.storage import (
+    QUARANTINE_DIR,
+    ShardStore,
+    atomic_write_bytes,
+    checksum_path,
+)
 from repro.core.sharing import SharingLevel
 from repro.core.simulator import (
     DEFAULT_STALL_WINDOW_TICKS,
@@ -90,6 +95,7 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "DEFAULT_RETRY_BACKOFF",
     "MIX_STAGGER_CYCLES",
+    "QUARANTINE_DIR",
     "RESULTS_VERSION",
     "ExperimentRunner",
     "RunFailedError",
@@ -125,11 +131,24 @@ _POLL_INTERVAL_SECONDS = 0.25
 #: File name of the sweep journal inside the cache directory.
 JOURNAL_NAME = "journal.jsonl"
 
-#: Subdirectory of the cache holding quarantined corrupt shards.
-QUARANTINE_DIR = "quarantine"
+#: Subdirectory of the result cache holding compiled-trace shards.
+TRACE_DIR_NAME = "traces"
 
 #: Re-exported for back-compat; the constant lives with the presets now.
 MIX_STAGGER_CYCLES = presets.MIX_STAGGER_CYCLES
+
+
+def _configure_worker_trace_cache(directory: str | None, enabled: bool) -> None:
+    """Pool initializer: point each worker at the shared trace store.
+
+    Under the default ``fork`` start method workers additionally inherit
+    the parent's warmed in-process memo, so they rarely touch the disk
+    level at all; under ``spawn``/``forkserver`` they load the shards the
+    parent published during planning instead of recompiling.
+    """
+    tracecache.configure(
+        directory=Path(directory) if directory else None, enabled=enabled
+    )
 
 
 def _result_dict(result: WorkloadResult) -> dict[str, Any]:
@@ -308,12 +327,16 @@ class ExperimentRunner:
         stall_window_ticks: int | None = DEFAULT_STALL_WINDOW_TICKS,
         fault_plan: "faults_module.FaultPlan | None" = None,
         journal: bool = True,
+        trace_cache: bool = True,
     ) -> None:
         """``run_timeout`` bounds each run's wall clock (seconds, ``None``
         = unbounded); ``max_attempts`` caps executions per retriable spec;
         ``stall_window_ticks`` arms the engine stall watchdog (``None``
         disables it); ``fault_plan`` injects deterministic failures for
-        testing; ``journal=False`` turns off the sweep journal.
+        testing; ``journal=False`` turns off the sweep journal;
+        ``trace_cache=False`` disables the compiled-frontend cache (the
+        ``--no-trace-cache`` escape hatch — every run regenerates its
+        request traces live).
         """
         self.scale = scale
         self.max_ticks = max_ticks
@@ -328,6 +351,15 @@ class ExperimentRunner:
             cache_dir = Path.cwd() / ".repro_cache"
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._result_store = ShardStore(
+            self.cache_dir, on_quarantine=self._on_result_quarantine
+        )
+        self.trace_cache = trace_cache
+        self.trace_dir = self.cache_dir / TRACE_DIR_NAME
+        # The compile phase resolves through the process-level cache; the
+        # runner points its disk level under its own cache directory so
+        # result shards and trace shards travel together.
+        tracecache.configure(directory=self.trace_dir, enabled=trace_cache)
         self.journal: SweepJournal | None = (
             SweepJournal(self.cache_dir / JOURNAL_NAME) if journal else None
         )
@@ -335,6 +367,8 @@ class ExperimentRunner:
         self.runs_executed = 0
         self.cache_hits = 0
         self.quarantined = 0
+        #: Trace-cache counter deltas of the most recent planning pass.
+        self.last_trace_stats: tracecache.TraceCacheStats | None = None
         #: Spec -> terminal failure record, from this runner's lifetime.
         self.failures: dict[RunSpec, RunFailure] = {}
         #: Aggregate of the most recent :meth:`run_many` batch.
@@ -457,40 +491,34 @@ class ExperimentRunner:
         )
 
     # ------------------------------------------------------------------ #
-    # Cache plumbing (crash-safe)
+    # Cache plumbing (crash-safe, delegated to repro.storage.ShardStore)
     # ------------------------------------------------------------------ #
 
+    def _on_result_quarantine(self, name: str, reason: str) -> None:
+        self.quarantined += 1
+        self._journal("quarantine", shard=name, reason=reason)
+
+    def _shard_name(self, spec: RunSpec) -> str:
+        return f"{spec.cache_key()}.json"
+
     def _cache_path(self, spec: RunSpec) -> Path:
-        return self.cache_dir / f"{spec.cache_key()}.json"
+        return self._result_store.path(self._shard_name(spec))
 
     @staticmethod
     def _checksum_path(path: Path) -> Path:
-        return path.with_name(path.name + ".sum")
+        return checksum_path(path)
 
     @staticmethod
     def _atomic_write(path: Path, data: bytes) -> None:
-        """Write ``data`` so readers only ever see absent or complete files.
-
-        The temp name embeds the pid, so concurrent runners sharing one
-        cache directory never clobber each other's in-progress writes;
-        ``os.replace`` makes publication atomic on POSIX filesystems.
-        """
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_bytes(data)
-        os.replace(tmp, path)
+        atomic_write_bytes(path, data)
 
     def _store(self, spec: RunSpec, results: list[dict[str, Any]]) -> None:
-        path = self._cache_path(spec)
         # The shard byte format is pinned by the golden-equivalence suite;
         # integrity metadata therefore lives in a sidecar, not the shard.
         payload = json.dumps(
             {"descriptor": spec.descriptor(), "results": results}, indent=1
         ).encode("utf-8")
-        self._atomic_write(path, payload)
-        self._atomic_write(
-            self._checksum_path(path),
-            hashlib.sha256(payload).hexdigest().encode("ascii"),
-        )
+        self._result_store.write(self._shard_name(spec), payload)
 
     def _validate_shard(
         self, spec: RunSpec, raw: bytes
@@ -519,43 +547,13 @@ class ExperimentRunner:
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt shard (and its sidecar) out of the cache."""
-        quarantine = self.cache_dir / QUARANTINE_DIR
-        quarantine.mkdir(exist_ok=True)
-        target = quarantine / path.name
-        suffix = 0
-        while target.exists():
-            suffix += 1
-            target = quarantine / f"{path.name}.{suffix}"
-        try:
-            os.replace(path, target)
-        except OSError:  # pragma: no cover - lost a race with another runner
-            path.unlink(missing_ok=True)
-        self._checksum_path(path).unlink(missing_ok=True)
-        self.quarantined += 1
-        _LOG.warning(
-            "quarantined corrupt cache shard %s (%s); the spec will re-run",
-            path.name,
-            reason,
-        )
-        self._journal("quarantine", shard=path.name, reason=reason)
+        self._result_store.quarantine(path.name, reason)
 
     def _cached(self, spec: RunSpec) -> list[dict[str, Any]] | None:
-        path = self._cache_path(spec)
-        try:
-            raw = path.read_bytes()
-        except OSError:
-            return None
-        results, reason = self._validate_shard(spec, raw)
-        if results is not None:
-            checksum_path = self._checksum_path(path)
-            try:
-                expected = checksum_path.read_text(encoding="ascii").strip()
-            except OSError:
-                expected = ""  # sidecar optional: pre-existing caches lack it
-            if expected and expected != hashlib.sha256(raw).hexdigest():
-                results, reason = None, "payload checksum mismatch"
+        results = self._result_store.read_validated(
+            self._shard_name(spec), lambda raw: self._validate_shard(spec, raw)
+        )
         if results is None:
-            self._quarantine(path, reason or "unknown corruption")
             return None
         self.cache_hits += 1
         return results
@@ -563,6 +561,55 @@ class ExperimentRunner:
     def _journal(self, event: str, **fields: Any) -> None:
         if self.journal is not None:
             self.journal.append(event, **fields)
+
+    # ------------------------------------------------------------------ #
+    # Trace precompilation (the sweep's compile phase)
+    # ------------------------------------------------------------------ #
+
+    def _claim_trace_cache(self) -> None:
+        """Point the process-level trace cache at *this* runner's store.
+
+        The cache is process-global (so forked workers inherit a warm
+        memo), but several runners can coexist in one process; whichever
+        is executing owns the disk level for the duration, so its trace
+        shards land next to its result shards.  The memo is content-
+        addressed and survives re-pointing.
+        """
+        tracecache.configure(directory=self.trace_dir, enabled=self.trace_cache)
+
+    def _precompile_frontends(
+        self, cold: Sequence[RunSpec]
+    ) -> "tracecache.TraceCacheStats | None":
+        """Compile each distinct frontend of a batch exactly once, here.
+
+        A sweep of S specs over C cores would otherwise regenerate
+        S x C frontends inside the workers; the distinct ``(workload,
+        arch)`` pairs — usually a handful, since characterization sweeps
+        vary memory-side config only — are compiled (or loaded from the
+        trace store) once in the parent instead.  Workers then inherit
+        the warmed memo (``fork``) or load the just-published shards.
+        Returns the counter deltas of this pass, or ``None`` when the
+        cache is disabled.
+        """
+        if not tracecache.is_enabled():
+            self.last_trace_stats = None
+            return None
+        cache = tracecache.process_cache()
+        before = cache.stats.snapshot()
+        seen: set[str] = set()
+        for spec in cold:
+            for name, arch in spec.frontends():
+                network = self._network(name)
+                fingerprint = tracecache.frontend_fingerprint(network, arch)
+                if fingerprint in seen:
+                    continue
+                seen.add(fingerprint)
+                cache.get(network, arch)
+        delta = cache.stats.since(before)
+        self.last_trace_stats = delta
+        if cold:
+            self._journal("trace_cache", distinct=len(seen), **delta.summary())
+        return delta
 
     # ------------------------------------------------------------------ #
     # Supervision primitives
@@ -654,6 +701,7 @@ class ExperimentRunner:
         partially-failed sweep get a typed error, not a re-execution).
         """
         spec = self.plan(spec)
+        self._claim_trace_cache()
         cached = self._cached(spec)
         if cached is not None:
             self.failures.pop(spec, None)
@@ -698,6 +746,7 @@ class ExperimentRunner:
         """
         jobs = self.jobs if jobs is None else max(1, jobs)
         progress = progress if progress is not None else self.progress
+        self._claim_trace_cache()
         ordered = list(dict.fromkeys(self.plan(spec) for spec in specs))
         started = time.monotonic()
         results: dict[RunSpec, list[dict[str, Any]]] = {}
@@ -721,6 +770,9 @@ class ExperimentRunner:
             cold=len(cold),
             jobs=jobs,
         )
+        # Compile phase: every distinct frontend of the cold runs is
+        # resolved once before any simulation executes.
+        self._precompile_frontends(cold)
 
         def report(spec: RunSpec | None) -> None:
             if progress is None:
@@ -819,7 +871,18 @@ class ExperimentRunner:
         pending: deque[tuple[RunSpec, int]] = deque((spec, 1) for spec in cold)
         suspects: deque[tuple[RunSpec, int]] = deque()
         inflight: dict[Future, tuple[RunSpec, int, float]] = {}
-        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_configure_worker_trace_cache,
+                initargs=(
+                    str(self.trace_dir) if self.trace_cache else None,
+                    self.trace_cache,
+                ),
+            )
+
+        pool = make_pool()
         hard_limit = (
             None
             if self.run_timeout is None
@@ -848,7 +911,7 @@ class ExperimentRunner:
         def rebuild() -> None:
             nonlocal pool
             _terminate_pool(pool)
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = make_pool()
 
         def handle_breakage(timed_out: set[RunSpec] | None = None) -> None:
             # Pool death took every in-flight run with it; settle each one.

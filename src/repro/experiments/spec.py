@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.config import presets
+from repro.config.arch import ArchConfig
 from repro.config.misc import MiscConfig
 from repro.config.system import SystemConfig
 from repro.core.sharing import SharingLevel
@@ -261,6 +262,21 @@ class RunSpec:
         """Stable content hash of the descriptor (the cache file stem)."""
         payload = json.dumps(self.descriptor(), sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def frontends(self) -> tuple[tuple[str, ArchConfig], ...]:
+        """The compile units of this run: one (workload, arch) per core.
+
+        This is what the sweep planner deduplicates across a batch — the
+        whole SW frontend (tiling, run lists, systolic timing) depends
+        only on these pairs, so memory-side sweeps (channels, page sizes,
+        PTW/TLB splits, sharing levels) share compiled traces across
+        every spec they contain.
+        """
+        system = self.system()
+        return tuple(
+            (name, system.arch[core])
+            for core, name in enumerate(self.workloads)
+        )
 
     def system(self) -> SystemConfig:
         """Build the :class:`SystemConfig` this spec describes.

@@ -178,6 +178,58 @@ def test_corpus_covers_required_axes():
     )
 
 
+@pytest.mark.parametrize("name", ["solo-ncf-2ch", "mix-ncf-dlrm-DWT"])
+def test_trace_cache_modes_are_byte_equivalent(name, snapshots, tmp_path):
+    """Replay must be invisible: disabled, cold and warm trace caches all
+    produce the exact pinned metrics AND byte-identical result shards.
+
+    This is the correctness pin of the compile/replay split — a compiled
+    trace that drifted from live generation by even one request would
+    change integer DRAM counters here.
+    """
+    from repro.compute import tracecache
+
+    spec = dict(CORPUS)[name]
+    cache = tracecache.process_cache()
+    saved_store, saved_enabled = cache.store, tracecache.is_enabled()
+    want = {
+        key: value
+        for key, value in snapshots[name].items()
+        if key not in ("cache_key", "shard_sha256")
+    }
+
+    def shard_digest(mode: str, trace_cache: bool) -> str:
+        cache_dir = tmp_path / mode
+        runner = ExperimentRunner(
+            scale=spec.scale, cache_dir=cache_dir, trace_cache=trace_cache
+        )
+        runner.run(spec)
+        shard = (cache_dir / f"{spec.cache_key()}.json").read_bytes()
+        return hashlib.sha256(shard).hexdigest()
+
+    try:
+        cache.clear_memo()
+        tracecache.configure(enabled=False)
+        assert metrics(simulate(spec)) == want, "trace cache disabled"
+        digests = {shard_digest("disabled", trace_cache=False)}
+
+        tracecache.configure(directory=tmp_path / "traces", enabled=True)
+        cache.clear_memo()
+        assert metrics(simulate(spec)) == want, "cold trace cache"
+        digests.add(shard_digest("cold", trace_cache=True))
+
+        cache.clear_memo()  # shards on disk now: the warm cross-process path
+        tracecache.configure(directory=tmp_path / "traces", enabled=True)
+        assert metrics(simulate(spec)) == want, "warm disk trace cache"
+        assert metrics(simulate(spec)) == want, "warm memo trace cache"
+        digests.add(shard_digest("warm", trace_cache=True))
+
+        assert digests == {snapshots[name]["shard_sha256"]}
+    finally:
+        cache.store = saved_store
+        tracecache.configure(enabled=saved_enabled)
+
+
 @pytest.mark.parametrize(
     "name", ["solo-dlrm-1ch-notrans", "mix-ncf-dlrm-D", "mix-ncf-dlrm-DWT"]
 )

@@ -161,12 +161,13 @@ class TestRunMany:
         assert serial_results == parallel_results
         assert serial.runs_executed == parallel.runs_executed == 8
         # The sweep journal logs wall-clock timestamps and job counts;
-        # the byte-identity contract covers the cache artifacts (shards
-        # and checksum sidecars), not the execution log.
+        # the byte-identity contract covers the cache artifacts (result
+        # shards, trace shards, checksum sidecars), not the execution log.
         def artifacts(runner):
             return sorted(
-                p.name for p in runner.cache_dir.iterdir()
-                if p.name != JOURNAL_NAME
+                p.relative_to(runner.cache_dir)
+                for p in runner.cache_dir.rglob("*")
+                if p.is_file() and p.name != JOURNAL_NAME
             )
 
         serial_files = artifacts(serial)

@@ -1,0 +1,315 @@
+"""The compile/replay split: fingerprints, the two-level trace cache,
+corruption handling, the stream-and-discard fallback, and the sweep
+planner's precompile step."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.compute import tracecache
+from repro.compute.requestgen import RequestGenerator, Run
+from repro.compute.tracecache import (
+    CompiledTrace,
+    TraceCache,
+    compile_trace,
+    decode_trace,
+    encode_trace,
+    frontend_fingerprint,
+    trace_source,
+)
+from repro.config import presets
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.spec import RunSpec
+from repro.models import zoo
+
+SRC_DIR = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture
+def arch():
+    return presets.cloud_arch("mini")
+
+
+@pytest.fixture
+def network():
+    return zoo.get("ncf", "mini")
+
+
+@pytest.fixture
+def process_cache_state():
+    """Snapshot + restore the process-level cache around a test."""
+    cache = tracecache.process_cache()
+    store = cache.store
+    enabled = tracecache.is_enabled()
+    cache.clear_memo()  # deterministic stats: no entries from earlier tests
+    yield
+    cache.store = store
+    tracecache.configure(enabled=enabled)
+
+
+# ---------------------------------------------------------------------- #
+# Fingerprints
+# ---------------------------------------------------------------------- #
+
+
+class TestFingerprint:
+    def test_stable_across_processes(self, network, arch):
+        """The key must not depend on Python hash seeds or process state."""
+        expected = frontend_fingerprint(network, arch)
+        code = (
+            "from repro.models import zoo\n"
+            "from repro.config import presets\n"
+            "from repro.compute.tracecache import frontend_fingerprint\n"
+            "print(frontend_fingerprint("
+            "zoo.get('ncf', 'mini'), presets.cloud_arch('mini')))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONPATH": SRC_DIR, "PYTHONHASHSEED": "271828"},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == expected
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("array_rows", 16),
+            ("array_cols", 16),
+            ("spm_bytes", 1 << 18),
+            ("dataflow", "ws"),
+            ("element_bytes", 2),
+            ("dram_transaction_bytes", 64),
+        ],
+    )
+    def test_traffic_arch_fields_invalidate(self, network, arch, field, value):
+        assert getattr(arch, field) != value, "pick a value that differs"
+        changed = dataclasses.replace(arch, **{field: value})
+        assert frontend_fingerprint(network, changed) != frontend_fingerprint(
+            network, arch
+        )
+
+    @pytest.mark.parametrize(
+        "field, value", [("name", "other"), ("freq_mhz", 123), ("dma_issue_per_cycle", 99)]
+    )
+    def test_replay_side_arch_fields_shared(self, network, arch, field, value):
+        """Frequency/DMA width/naming do not change which requests exist."""
+        changed = dataclasses.replace(arch, **{field: value})
+        assert frontend_fingerprint(network, changed) == frontend_fingerprint(
+            network, arch
+        )
+
+    def test_network_topology_invalidates(self, network, arch):
+        first = network.layers[0]
+        resized = dataclasses.replace(
+            network,
+            layers=(dataclasses.replace(first, dim=first.dim * 2),)
+            + network.layers[1:],
+        )
+        shrunk = dataclasses.replace(network, layers=network.layers[1:])
+        fingerprints = {
+            frontend_fingerprint(net, arch) for net in (network, resized, shrunk)
+        }
+        assert len(fingerprints) == 3
+
+
+# ---------------------------------------------------------------------- #
+# Compile + serialization round trip
+# ---------------------------------------------------------------------- #
+
+
+class TestCompiledTrace:
+    def test_replay_matches_live_generator(self, network, arch):
+        trace = compile_trace(network, arch)
+        generator = RequestGenerator(network, arch)
+        assert list(trace.all_tiles()) == list(generator.all_tiles())
+        assert trace.summary() == generator.summary()
+        assert trace.memory_footprint_bytes == generator.memory_footprint_bytes
+        assert trace.num_layers == generator.num_layers
+
+    def test_disk_round_trip_is_exact(self, network, arch):
+        trace = compile_trace(network, arch)
+        decoded, reason = decode_trace(encode_trace(trace), trace.fingerprint)
+        assert reason is None
+        assert decoded.layers == trace.layers
+        assert decoded.summary() == trace.summary()  # floats included, exactly
+        assert decoded.memory_footprint_bytes == trace.memory_footprint_bytes
+        assert decoded.object_cost == trace.object_cost
+
+    @pytest.mark.parametrize(
+        "raw, reason",
+        [
+            (b"{truncated", "unparseable JSON (truncated write?)"),
+            (b"[1, 2]", "malformed shard structure"),
+            (b'{"version": 999}', "trace-version mismatch"),
+        ],
+    )
+    def test_decode_rejects_unsound_payloads(self, raw, reason):
+        decoded, got = decode_trace(raw, "abc")
+        assert decoded is None
+        assert got.startswith(reason)
+
+    def test_decode_rejects_foreign_fingerprint(self, network, arch):
+        trace = compile_trace(network, arch)
+        decoded, reason = decode_trace(encode_trace(trace), "not-the-fingerprint")
+        assert decoded is None
+        assert reason == "fingerprint does not match request"
+
+    def test_oversized_compile_bails_out(self, network, arch):
+        assert compile_trace(network, arch, max_objects=10) is None
+
+
+# ---------------------------------------------------------------------- #
+# The two-level cache
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceCache:
+    def test_memo_then_disk_then_compile(self, tmp_path, network, arch):
+        cache = TraceCache(tmp_path)
+        first = cache.get(network, arch)
+        assert cache.get(network, arch) is first
+        assert cache.stats.compiles == 1 and cache.stats.memo_hits == 1
+
+        fresh = TraceCache(tmp_path)  # cold memo, warm disk
+        loaded = fresh.get(network, arch)
+        assert fresh.stats.disk_hits == 1 and fresh.stats.compiles == 0
+        assert list(loaded.all_tiles()) == list(first.all_tiles())
+        assert loaded.summary() == first.summary()
+
+    @pytest.mark.parametrize("mode", ["truncate", "garbage", "flip"])
+    def test_corrupt_shard_quarantined_and_recompiled(
+        self, tmp_path, network, arch, mode
+    ):
+        cache = TraceCache(tmp_path)
+        original = cache.get(network, arch)
+        shard = cache.store.path(cache.shard_name(original.fingerprint))
+        raw = shard.read_bytes()
+        if mode == "truncate":
+            shard.write_bytes(raw[: len(raw) // 2])
+        elif mode == "garbage":
+            shard.write_bytes(b"not json at all")
+        else:  # valid JSON, wrong bytes -> checksum sidecar catches it
+            shard.write_bytes(raw.replace(b'"version"', b'"version" ', 1))
+
+        fresh = TraceCache(tmp_path)
+        recompiled = fresh.get(network, arch)
+        assert recompiled is not None
+        assert list(recompiled.all_tiles()) == list(original.all_tiles())
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.compiles == 1 and fresh.stats.disk_hits == 0
+        assert list(fresh.store.quarantine_dir.iterdir())
+        # The recompile republished a sound shard.
+        again = TraceCache(tmp_path)
+        assert again.get(network, arch) is not None
+        assert again.stats.disk_hits == 1
+
+    def test_oversize_falls_back_without_recompiling(self, tmp_path, network, arch):
+        cache = TraceCache(tmp_path, max_memo_objects=10)
+        assert cache.get(network, arch) is None
+        assert cache.get(network, arch) is None
+        assert cache.stats.compiles == 1  # the bail-out is remembered
+        assert cache.stats.oversize == 2
+        assert cache.store.shard_names() == []  # nothing materialized on disk
+
+    def test_memo_eviction_respects_budget(self, network, arch):
+        small = compile_trace(network, arch)
+        cache = TraceCache(max_memo_objects=small.object_cost + 10)
+        cache.get(network, arch)
+        other = dataclasses.replace(arch, spm_bytes=arch.spm_bytes // 2)
+        cache.get(network, other)  # different fingerprint -> eviction
+        assert cache.memo_objects <= cache.max_memo_objects
+        assert len(cache._memo) == 1
+
+    def test_trace_source_fallback_paths(self, network, arch, process_cache_state):
+        tracecache.configure(enabled=True)
+        assert isinstance(trace_source(network, arch), CompiledTrace)
+        tracecache.configure(enabled=False)
+        assert isinstance(trace_source(network, arch), RequestGenerator)
+
+
+# ---------------------------------------------------------------------- #
+# The unchecked Run construction path
+# ---------------------------------------------------------------------- #
+
+
+class TestRunValidation:
+    def test_public_constructor_still_validates(self):
+        with pytest.raises(ValueError):
+            Run(addr=-1, count=1, write=False)
+        with pytest.raises(ValueError):
+            Run(addr=0, count=0, write=False)
+
+    def test_unchecked_path_skips_validation_but_matches(self):
+        checked = Run(addr=64, count=3, write=True)
+        assert Run._unchecked(64, 3, True) == checked
+        # The internal path must not pay __post_init__ (it would raise here).
+        assert Run._unchecked(-1, 0, False).addr == -1
+
+
+# ---------------------------------------------------------------------- #
+# Runner integration: the sweep's compile phase
+# ---------------------------------------------------------------------- #
+
+
+class TestRunnerIntegration:
+    SPECS = (
+        RunSpec.solo("ncf", scale="mini", channels=2),
+        RunSpec.solo("ncf", scale="mini", channels=4),
+        RunSpec.solo("ncf", scale="mini", channels=2, page_bytes=65536),
+    )
+
+    def test_memory_side_sweep_compiles_each_frontend_once(
+        self, tmp_path, process_cache_state
+    ):
+        runner = ExperimentRunner(scale="mini", cache_dir=tmp_path, journal=True)
+        runner.run_many(list(self.SPECS))
+        stats = runner.last_trace_stats
+        assert stats is not None
+        # Three specs, one distinct (workload, arch) frontend.
+        assert stats.compiles + stats.memo_hits + stats.disk_hits == 1
+        assert (tmp_path / "traces").is_dir()
+        events = [r["event"] for r in runner.journal.read()]
+        assert "trace_cache" in events
+
+    def test_warm_runner_loads_from_disk(self, tmp_path, process_cache_state):
+        first = ExperimentRunner(scale="mini", cache_dir=tmp_path)
+        first.run_many([self.SPECS[0]])
+        tracecache.process_cache().clear_memo()  # simulate a new process
+        second = ExperimentRunner(scale="mini", cache_dir=tmp_path)
+        second.run_many([self.SPECS[1]])  # cold result, same frontend
+        assert second.last_trace_stats.disk_hits == 1
+        assert second.last_trace_stats.compiles == 0
+
+    def test_trace_cache_off_runs_live(self, tmp_path, process_cache_state):
+        runner = ExperimentRunner(
+            scale="mini", cache_dir=tmp_path, trace_cache=False
+        )
+        results = runner.run_many([self.SPECS[0]])
+        assert len(results) == 1
+        assert runner.last_trace_stats is None
+        assert not list((tmp_path / "traces").glob("*.json"))
+
+    def test_parallel_and_serial_results_identical(
+        self, tmp_path, process_cache_state
+    ):
+        serial = ExperimentRunner(scale="mini", cache_dir=tmp_path / "serial")
+        parallel = ExperimentRunner(
+            scale="mini", cache_dir=tmp_path / "parallel", jobs=2
+        )
+        specs = list(self.SPECS)
+        want = serial.run_many(specs)
+        got = parallel.run_many(specs, jobs=2)
+        assert want == got
+        for spec in specs:
+            name = f"{spec.cache_key()}.json"
+            assert (tmp_path / "serial" / name).read_bytes() == (
+                tmp_path / "parallel" / name
+            ).read_bytes()
