@@ -44,6 +44,7 @@ from repro.errors import SimulationStallError
 from repro.experiments.runner import DEFAULT_MAX_TICKS
 from repro.experiments.spec import RunSpec
 from repro.models import zoo
+from repro.obs import format_profile, format_tree, human_bytes
 
 
 def _read_list_file(path: str) -> list[str]:
@@ -200,9 +201,11 @@ def _print_cache_summary(runner, quiet: bool) -> None:
             f"(memo {trace.memo_hits}, disk {trace.disk_hits}), "
             f"{trace.compiles} compiled, hit-rate {trace.hit_rate:.2f}"
         )
+    usage = runner.cache_usage()
     print(
         f"cache: results {outcome.cache_hits}/{outcome.total} cached; "
-        f"{trace_part}",
+        f"{trace_part}; "
+        f"{usage['shards']} shard(s), {human_bytes(usage['bytes'])} on disk",
         file=sys.stderr,
     )
 
@@ -252,7 +255,7 @@ def _figure_producers(runner, dual, quad):
     }
 
 
-def _make_runner(args: argparse.Namespace):
+def _make_runner(args: argparse.Namespace, *, profile: bool = False):
     from repro.experiments.runner import ExperimentRunner
 
     # Progress reporting is always on (serial and parallel alike) unless
@@ -264,6 +267,7 @@ def _make_runner(args: argparse.Namespace):
         progress=None if args.quiet else _print_progress,
         run_timeout=args.run_timeout,
         trace_cache=not args.no_trace_cache,
+        profile=profile,
     )
 
 
@@ -290,10 +294,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     (the Ideal/Static solos every sharing figure needs, the shared
     fig4/fig6 and fig9/fig10 sweeps) simulate exactly once.
     """
+    return _sweep_with(_make_runner(args), args)
+
+
+def _sweep_with(runner, args: argparse.Namespace) -> int:
+    """The sweep body, on a caller-built runner (plain or profiled)."""
     from repro.experiments import figures
     from repro.experiments.report import format_mapping
 
-    runner = _make_runner(args)
     dual, quad = _figure_mixes(args)
     producers = _figure_producers(runner, dual, quad)
     unknown = [name for name in args.names if name not in producers]
@@ -380,7 +388,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             usage = store.usage()
             print(
                 f"{kind:8s} {usage['shards']:5d} shard(s), "
-                f"{usage['bytes']:12d} bytes, "
+                f"{human_bytes(usage['bytes']):>10s}, "
                 f"{usage['quarantined']} quarantined  ({store.directory})"
             )
         return 0
@@ -388,6 +396,114 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         removed = stores[kind].clear()
         print(f"cleared {removed} {kind} shard(s) from {stores[kind].directory}")
     return 0
+
+
+def _run_observed(args: argparse.Namespace):
+    """Build and run the requested mix with observability armed.
+
+    The same :class:`RunSpec` path as ``mnpusim mix``, but the simulator
+    is constructed with ``observe=True`` so every component registers
+    into the counter registry and the timeline tracer records spans.
+    """
+    sharing = (
+        SharingLevel[args.sharing.upper().lstrip("+")]
+        if args.sharing
+        else SharingLevel.DWT
+    )
+    try:
+        spec = RunSpec.mix(
+            args.workloads, sharing, scale=args.scale, page_bytes=args.page_bytes
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+    networks = [zoo.get(name, args.scale) for name in args.workloads]
+    tracecache.configure(enabled=not args.no_trace_cache)
+    sim = MultiCoreNPUSim(
+        spec.system(),
+        networks,
+        observe=True,
+        stall_window_ticks=args.stall_window,
+    )
+    result = _run_sim(sim, args.max_ticks)
+    return sim, result
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a mix with observability on and render the counter tree."""
+    sim, result = _run_observed(args)
+    snapshot = result.counters
+    assert snapshot is not None  # observe=True guarantees a registry
+    if args.json:
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"counter snapshot written to {target}", file=sys.stderr)
+    print(format_tree(snapshot, max_depth=args.depth))
+    return 0
+
+
+def _cmd_profile_run(args: argparse.Namespace) -> int:
+    """One observed run: counter tree, span summary, Perfetto export."""
+    sim, result = _run_observed(args)
+    for workload in result.workloads:
+        print(
+            f"core{workload.core} {workload.workload}: {workload.cycles} cycles, "
+            f"PE util {workload.pe_utilization:.3f}"
+        )
+    timeline = sim.timeline
+    assert timeline is not None
+    print(
+        f"timeline: {timeline.total_spans()} spans buffered "
+        f"({timeline.total_dropped()} dropped)",
+        file=sys.stderr,
+    )
+    if args.trace:
+        target = timeline.export(args.trace)
+        print(
+            f"Perfetto trace written to {target} "
+            f"(open at https://ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    snapshot = result.counters
+    assert snapshot is not None
+    if args.counters:
+        target = Path(args.counters)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"counter snapshot written to {target}", file=sys.stderr)
+    print(format_tree(snapshot, max_depth=args.depth))
+    return 0
+
+
+def _cmd_profile_sweep(args: argparse.Namespace) -> int:
+    """A figure sweep under the phase profiler; prints the phase table."""
+    runner = _make_runner(args, profile=True)
+    code = _sweep_with(runner, args)
+    assert runner.profiler is not None
+    print(format_profile(runner.profiler.snapshot()))
+    return code
+
+
+def _add_observed_mix_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``stats`` and ``profile run`` (mix-shaped)."""
+    parser.add_argument("workloads", nargs="+", choices=zoo.NAMES, metavar="workload")
+    parser.add_argument("--sharing", default="DWT", help="D, DW or DWT")
+    parser.add_argument("--scale", default="mini", choices=("mini", "full"))
+    parser.add_argument("--page-bytes", type=int, default=4096)
+    parser.add_argument(
+        "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
+        help="abort a run exceeding this many global ticks (safety valve)",
+    )
+    parser.add_argument(
+        "--stall-window", type=int, default=DEFAULT_STALL_WINDOW_TICKS,
+        help="livelock watchdog: abort when no core retires work for this "
+             "many global ticks (0 disables)",
+    )
+    parser.add_argument(
+        "--depth", type=int, default=None, metavar="N",
+        help="truncate the counter tree below this depth",
+    )
+    _add_no_trace_cache_option(parser)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -461,6 +577,48 @@ def main(argv: list[str] | None = None) -> int:
                        help="figure names, e.g. fig4 fig6 fig9")
     _add_sweep_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a mix with observability on and render the counter tree",
+    )
+    _add_observed_mix_options(stats)
+    stats.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the full counter snapshot as JSON",
+    )
+    stats.set_defaults(func=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile",
+        help="observability deep-dive: Perfetto traces and phase profiles",
+    )
+    profile_sub = profile.add_subparsers(dest="mode", required=True)
+
+    profile_run = profile_sub.add_parser(
+        "run",
+        help="one observed mix: counter tree, span summary, Perfetto export",
+    )
+    _add_observed_mix_options(profile_run)
+    profile_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="export the timeline as Chrome trace-event JSON "
+             "(open at https://ui.perfetto.dev)",
+    )
+    profile_run.add_argument(
+        "--counters", default=None, metavar="PATH",
+        help="also write the counter snapshot as JSON",
+    )
+    profile_run.set_defaults(func=_cmd_profile_run)
+
+    profile_sweep = profile_sub.add_parser(
+        "sweep",
+        help="run a figure sweep under the phase profiler",
+    )
+    profile_sweep.add_argument("names", nargs="+", metavar="figure",
+                               help="figure names, e.g. fig4 fig6 fig9")
+    _add_sweep_options(profile_sweep)
+    profile_sweep.set_defaults(func=_cmd_profile_sweep)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk result/trace caches"

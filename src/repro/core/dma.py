@@ -14,11 +14,16 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from typing import TYPE_CHECKING
+
 from repro.compute.requestgen import Run
 from repro.core.clock import ClockDomain
 from repro.core.engine import Engine
 from repro.dram.controller import DramController
 from repro.mmu.mmu import Mmu
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import CounterRegistry
 
 
 @dataclass
@@ -102,6 +107,21 @@ class DmaEngine:
         transfer.complete = lambda: self._complete(transfer)
         self._active.append(transfer)
         self._schedule_pump(max(self.engine.now, self._next_issue_at))
+
+    def register_counters(self, registry: "CounterRegistry") -> None:
+        """Expose this engine's issue stats to the registry (pull-based)."""
+        stats = self.stats
+        registry.bind_many(
+            f"dma.core{self.core}",
+            {
+                "read_txns": lambda: stats.read_txns,
+                "write_txns": lambda: stats.write_txns,
+                "stall_events": lambda: stats.stall_events,
+            },
+        )
+        registry.bind_gauge(
+            f"dma.core{self.core}.outstanding", lambda: self._outstanding
+        )
 
     @property
     def busy(self) -> bool:

@@ -11,13 +11,17 @@ tile boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.compute.requestgen import TileTraffic
 from repro.compute.tracecache import TraceSource
 from repro.core.clock import ClockDomain
 from repro.core.dma import DmaEngine
 from repro.core.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import CounterRegistry
+    from repro.obs.timeline import TimelineTracer
 
 
 @dataclass
@@ -49,12 +53,20 @@ class NpuCore:
         dma: DmaEngine,
         clock: ClockDomain,
         on_iteration_complete: Callable[[int], None],
+        *,
+        timeline: "TimelineTracer | None" = None,
     ) -> None:
         """``trace`` is the replay-phase frontend: either a
         :class:`~repro.compute.tracecache.CompiledTrace` (the cached
         compile artifact) or a live stream-and-discard
         :class:`~repro.compute.requestgen.RequestGenerator`; the two are
         observationally identical.
+
+        ``timeline`` (observability) records load/compute/write tile
+        spans.  Recording only observes ticks the pipeline already
+        reaches — it schedules nothing and mutates no pipeline state, so
+        execution is identical with or without it; with ``timeline=None``
+        the guards reduce to one predictable never-taken branch per hook.
         """
         self.engine = engine
         self.core_id = core_id
@@ -63,6 +75,12 @@ class NpuCore:
         self.clock = clock
         self.on_iteration_complete = on_iteration_complete
         self.stats = CoreStats()
+        self._timeline = timeline
+        # Tile-phase span starts: at most one load and one compute are in
+        # flight at a time, so a single tick each suffices; write-back
+        # starts ride in the completion closure (several may overlap).
+        self._load_start_tick = 0
+        self._compute_start_tick = 0
         self._tiles: Iterator[TileTraffic] | None = None
         self._loading: TileTraffic | None = None
         self._loaded: TileTraffic | None = None
@@ -90,6 +108,23 @@ class NpuCore:
     def reqgen(self) -> TraceSource:
         """Backwards-compatible alias for the core's trace source."""
         return self.trace
+
+    def register_counters(self, registry: "CounterRegistry") -> None:
+        """Expose this core's progress stats to the registry (pull-based)."""
+        stats = self.stats
+        registry.bind_many(
+            f"compute.core{self.core_id}",
+            {
+                "tiles_computed": lambda: stats.tiles_computed,
+                "compute_busy_local": lambda: stats.compute_busy_local,
+                "macs_done": lambda: stats.macs_done,
+                "completed_iterations": lambda: stats.completed_iterations,
+            },
+        )
+        registry.bind_gauge(
+            f"compute.core{self.core_id}.outstanding_writes",
+            lambda: self._outstanding_writes,
+        )
 
     @property
     def outstanding_writes(self) -> int:
@@ -126,12 +161,22 @@ class NpuCore:
             return
         self._loading = tile
         self._touch_layer(tile.layer_index)
+        if self._timeline is not None:
+            self._load_start_tick = self.engine.now
         self.dma.transfer(tile.reads, lambda t=tile: self._load_done(t))
 
     def _load_done(self, tile: TileTraffic) -> None:
         assert self._loading is tile
         self._loading = None
         self._loaded = tile
+        if self._timeline is not None:
+            self._timeline.log_tile(
+                self._load_start_tick,
+                self.engine.now,
+                self.core_id,
+                tile.layer_index,
+                "load",
+            )
         self._maybe_compute()
 
     def _maybe_compute(self) -> None:
@@ -144,6 +189,8 @@ class NpuCore:
         # next tile's load: double buffering.
         self._fetch_next()
         ticks = max(1, self.clock.to_global(tile.compute.cycles))
+        if self._timeline is not None:
+            self._compute_start_tick = self.engine.now
         self.engine.after(ticks, lambda t=tile: self._compute_done(t))
 
     def _compute_done(self, tile: TileTraffic) -> None:
@@ -153,11 +200,28 @@ class NpuCore:
         self.stats.compute_busy_local += tile.compute.cycles
         self.stats.macs_done += tile.compute.macs
         self._touch_layer(tile.layer_index)
+        if self._timeline is not None:
+            self._timeline.log_tile(
+                self._compute_start_tick,
+                self.engine.now,
+                self.core_id,
+                tile.layer_index,
+                "compute",
+            )
         if tile.writes:
             self._outstanding_writes += 1
-            self.dma.transfer(
-                tile.writes, lambda layer=tile.layer_index: self._write_done(layer)
-            )
+            if self._timeline is None:
+                self.dma.transfer(
+                    tile.writes,
+                    lambda layer=tile.layer_index: self._write_done(layer),
+                )
+            else:
+                self.dma.transfer(
+                    tile.writes,
+                    lambda layer=tile.layer_index, start=self.engine.now: (
+                        self._write_done_observed(layer, start)
+                    ),
+                )
         self._maybe_compute()
         self._check_iteration_end()
 
@@ -165,6 +229,13 @@ class NpuCore:
         self._outstanding_writes -= 1
         self._touch_layer(layer_index)
         self._check_iteration_end()
+
+    def _write_done_observed(self, layer_index: int, start_tick: int) -> None:
+        assert self._timeline is not None
+        self._timeline.log_tile(
+            start_tick, self.engine.now, self.core_id, layer_index, "write"
+        )
+        self._write_done(layer_index)
 
     def _touch_layer(self, layer_index: int) -> None:
         """Extend the first-iteration activity span of a layer to now."""

@@ -26,8 +26,10 @@ from repro.core.engine import Engine
 from repro.core.npu_core import NpuCore
 from repro.core.tracing import TraceLogger
 from repro.dram.controller import DramController
-from repro.dram.stats import DramStats
+from repro.dram.stats import DramStatsView
 from repro.mmu.mmu import Mmu
+from repro.obs.registry import CounterRegistry
+from repro.obs.timeline import TimelineTracer
 from repro.mmu.pagetable import PageTable, PhysicalLayout
 from repro.mmu.ptw import WalkerPool
 from repro.models.layers import Network
@@ -73,11 +75,15 @@ class MixResult:
     """Outcome of one co-simulation."""
 
     workloads: tuple[WorkloadResult, ...]
-    dram: DramStats
+    dram: DramStatsView
     total_ticks: int
     bandwidth_utilization: dict[int, list[tuple[int, float]]] = field(
         default_factory=dict
     )
+    #: Counter-registry snapshot (``repro.obs`` schema) when the
+    #: simulation ran with ``observe=True``; ``None`` otherwise.  Not
+    #: part of the cached result shards, so old caches stay valid.
+    counters: dict | None = None
 
     def cycles_per_core(self) -> tuple[int, ...]:
         """First-iteration local cycle counts, in core order."""
@@ -100,6 +106,7 @@ class MultiCoreNPUSim:
         trace_bandwidth: bool = False,
         trace_requests: bool = False,
         stall_window_ticks: int | None = None,
+        observe: bool = False,
     ) -> None:
         """``stall_window_ticks`` arms the stall watchdog: if no core
         retires a tile or completes an iteration within that many global
@@ -110,6 +117,16 @@ class MultiCoreNPUSim:
         sweep worker.  The watchdog only slices the event loop at window
         boundaries — event order, and therefore every simulation result,
         is byte-identical with and without it.
+
+        ``observe=True`` turns on the observability layer: every
+        component registers its stats into :attr:`registry` (a
+        :class:`CounterRegistry`), typed spans stream into
+        :attr:`timeline` (a :class:`TimelineTracer`, exportable as a
+        Perfetto-loadable Chrome trace), and the returned
+        :class:`MixResult` carries a counter snapshot.  Observation is
+        pure recording — it schedules no events and mutates no simulated
+        state — so results are byte-identical with it on or off; when
+        off (the default) the instrumentation costs nothing.
         """
         if len(networks) != system.num_cores:
             raise ValueError(
@@ -141,6 +158,19 @@ class MultiCoreNPUSim:
         self._txn_bytes = txn_bytes.pop()
         trace_window = system.misc.trace_window_cycles if trace_bandwidth else None
         self.tracer = TraceLogger() if trace_requests else None
+        #: Observability (``observe=True``): the counter registry and the
+        #: span timeline; ``None`` when off, so hot paths pay nothing.
+        self.registry: CounterRegistry | None = None
+        self.timeline: TimelineTracer | None = None
+        logger: TraceLogger | TimelineTracer | None = self.tracer
+        if observe:
+            self.registry = CounterRegistry()
+            self.timeline = TimelineTracer(registry=self.registry)
+            if self.tracer is not None:
+                # One span stream feeds both the Perfetto exporter and
+                # the artifact-style text logs.
+                self.timeline.attach(self.tracer)
+            logger = self.timeline
         walk_traffic = any(cfg.translation_enabled for cfg in system.npumem) and all(
             cfg.walk_in_dram for cfg in system.npumem
         )
@@ -150,9 +180,12 @@ class MultiCoreNPUSim:
             transaction_bytes=self._txn_bytes,
             channels_per_core={core: system.channels_for_core(core) for core in cores},
             trace_window_ticks=trace_window,
-            logger=self.tracer,
+            logger=logger,
             expect_walks=walk_traffic,
         )
+        #: The request logger every component records into: the timeline
+        #: when observing, else the plain TraceLogger (or ``None``).
+        self._logger = logger
 
         self.clocks = {
             core: ClockDomain(system.arch[core].freq_mhz, system.dram.freq_mhz)
@@ -164,7 +197,7 @@ class MultiCoreNPUSim:
             self.page_tables,
             self.walkers,
             shared_tlb=system.share_tlb and system.num_cores > 1,
-            logger=self.tracer,
+            logger=self._logger,
         )
 
         # The compile phase: each core's frontend is resolved through the
@@ -198,12 +231,34 @@ class MultiCoreNPUSim:
                 self.dmas[core],
                 self.clocks[core],
                 self._iteration_done,
+                timeline=self.timeline,
             )
             for core in cores
         }
+        if self.registry is not None:
+            self._register_counters(self.registry)
         self._ran = False
         #: Core -> last global tick at which it retired work (watchdog).
         self._last_progress: dict[int, int] = {core: 0 for core in cores}
+
+    def _register_counters(self, registry: CounterRegistry) -> None:
+        """Bind every component's stats into the counter registry.
+
+        Purely pull-based: the registry holds read callables over the
+        stat objects the components already maintain, evaluated only at
+        snapshot time.
+        """
+        self.dram.register_counters(registry)
+        self.mmu.register_counters(registry)
+        self.walkers.register_counters(registry)
+        for dma in self.dmas.values():
+            dma.register_counters(registry)
+        for core in self.cores.values():
+            core.register_counters(registry)
+        registry.bind_gauge("engine.now", lambda: self.engine.now)
+        registry.bind_counter(
+            "engine.events_processed", lambda: self.engine.events_processed
+        )
 
     def _build_walker_pool(self) -> WalkerPool:
         system = self.system
@@ -239,7 +294,7 @@ class MultiCoreNPUSim:
             max_per_core=max_per_core,
             reserved_per_core=reserved,
             pwc_entries={core: system.npumem[core].pwc_entries for core in cores},
-            logger=self.tracer,
+            logger=self._logger,
         )
 
     # ------------------------------------------------------------------ #
@@ -390,9 +445,21 @@ class MultiCoreNPUSim:
             for core_id, trace in self.dram.traces.items():
                 peak = self.dram.peak_bytes_per_tick(None)
                 utilization[core_id] = trace.utilization_series(peak)
+        counters = None
+        if self.timeline is not None:
+            # Layer activity windows are accumulated in CoreStats during
+            # the run; emit them as spans once, now that they are final.
+            for core_id, core in sorted(self.cores.items()):
+                layers = self.networks[core_id].layers
+                for index, (begin, end) in sorted(core.stats.layer_spans.items()):
+                    name = layers[index].name if index < len(layers) else f"L{index}"
+                    self.timeline.log_layer(begin, end, core_id, index, name)
+        if self.registry is not None:
+            counters = self.registry.snapshot()
         return MixResult(
             workloads=tuple(results),
             dram=self.dram.stats,
             total_ticks=self.engine.now,
             bandwidth_utilization=utilization,
+            counters=counters,
         )

@@ -12,6 +12,14 @@ simulator feeds it when constructed with ``trace_requests=True``, and
 :meth:`write_files` emits the artifact-style text files.  Fields follow
 the artifact's "time (cycle), address, NPU index, channel number"
 convention.
+
+Since the observability layer landed, the entry types are aliases of the
+:mod:`repro.obs.spans` span types (identical field layout), and the
+logger doubles as a :class:`~repro.obs.spans.SpanSink`: when a
+:class:`~repro.obs.timeline.TimelineTracer` drives the simulation, it
+fans the same span stream into an attached ``TraceLogger`` through
+:meth:`on_dram`/:meth:`on_tlb`/:meth:`on_walk` — artifact text logs and
+Perfetto traces come from one recording.
 """
 
 from __future__ import annotations
@@ -19,49 +27,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.spans import DramSpan, TlbEvent, WalkSpan
 
-@dataclass(frozen=True)
-class DramLogEntry:
-    """One DRAM transaction's lifetime."""
-
-    start_tick: int
-    end_tick: int
-    addr: int
-    core: int
-    channel: int
-    write: bool
-    is_walk: bool
-
-
-@dataclass(frozen=True)
-class TlbLogEntry:
-    """One TLB access."""
-
-    tick: int
-    core: int
-    vpn: int
-    outcome: str  #: "hit", "miss" (walk started) or "coalesced"
-
-
-@dataclass(frozen=True)
-class PtwLogEntry:
-    """One page-table walk's lifetime."""
-
-    enqueue_tick: int
-    start_tick: int
-    end_tick: int
-    core: int
-    vpn: int
-    dram_reads: int
+#: Back-compat aliases: the legacy log-entry names now *are* the span
+#: types (same fields, same order), so either import path works.
+DramLogEntry = DramSpan
+TlbLogEntry = TlbEvent
+PtwLogEntry = WalkSpan
 
 
 @dataclass
 class TraceLogger:
     """In-memory request logs with artifact-style file output."""
 
-    dram: list[DramLogEntry] = field(default_factory=list)
-    tlb: list[TlbLogEntry] = field(default_factory=list)
-    ptw: list[PtwLogEntry] = field(default_factory=list)
+    dram: list[DramSpan] = field(default_factory=list)
+    tlb: list[TlbEvent] = field(default_factory=list)
+    ptw: list[WalkSpan] = field(default_factory=list)
 
     # -------------------------------------------------------------- #
     # Recording hooks (called by the simulator components)
@@ -79,12 +60,12 @@ class TraceLogger:
     ) -> None:
         """Record one completed DRAM transaction."""
         self.dram.append(
-            DramLogEntry(start_tick, end_tick, addr, core, channel, write, is_walk)
+            DramSpan(start_tick, end_tick, addr, core, channel, write, is_walk)
         )
 
     def log_tlb(self, tick: int, core: int, vpn: int, outcome: str) -> None:
         """Record one TLB access."""
-        self.tlb.append(TlbLogEntry(tick, core, vpn, outcome))
+        self.tlb.append(TlbEvent(tick, core, vpn, outcome))
 
     def log_ptw(
         self,
@@ -97,8 +78,24 @@ class TraceLogger:
     ) -> None:
         """Record one completed page-table walk."""
         self.ptw.append(
-            PtwLogEntry(enqueue_tick, start_tick, end_tick, core, vpn, dram_reads)
+            WalkSpan(enqueue_tick, start_tick, end_tick, core, vpn, dram_reads)
         )
+
+    # -------------------------------------------------------------- #
+    # SpanSink interface (fed by an upstream TimelineTracer)
+    # -------------------------------------------------------------- #
+
+    def on_dram(self, span: DramSpan) -> None:
+        """Consume one DRAM span from the timeline stream."""
+        self.dram.append(span)
+
+    def on_tlb(self, event: TlbEvent) -> None:
+        """Consume one TLB event from the timeline stream."""
+        self.tlb.append(event)
+
+    def on_walk(self, span: WalkSpan) -> None:
+        """Consume one page-walk span from the timeline stream."""
+        self.ptw.append(span)
 
     # -------------------------------------------------------------- #
     # Output

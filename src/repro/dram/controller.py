@@ -19,10 +19,11 @@ from typing import TYPE_CHECKING
 from repro.config.dram import DramConfig
 from repro.core.engine import Engine
 from repro.dram.channel import Channel, DramRequest
-from repro.dram.stats import BandwidthTrace, DramStats
+from repro.dram.stats import BandwidthTrace, DramStats, DramStatsView
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.tracing import TraceLogger
+    from repro.obs.registry import CounterRegistry
 
 
 class DramController:
@@ -58,7 +59,8 @@ class DramController:
         self.engine = engine
         self.transaction_bytes = transaction_bytes
         self.channels_per_core = dict(channels_per_core)
-        self.stats = DramStats()
+        channel_stats = [DramStats() for _ in range(cfg.channels)]
+        self.stats = DramStatsView(channel_stats)
         self.logger = logger
         self.traces: dict[int, BandwidthTrace] | None = None
         self.total_trace: BandwidthTrace | None = None
@@ -76,7 +78,7 @@ class DramController:
                 cfg=cfg,
                 engine=engine,
                 burst_ticks=burst,
-                stats=self.stats,
+                stats=channel_stats[index],
                 trace=trace_fn,
                 transaction_bytes=transaction_bytes,
                 expect_walks=expect_walks,
@@ -203,6 +205,38 @@ class DramController:
         else:
             count = len(self.channels_per_core[core])
         return count * self.cfg.channel_bytes_per_cycle
+
+    def register_counters(self, registry: "CounterRegistry") -> None:
+        """Expose per-channel and aggregate DRAM stats to the registry.
+
+        Pure binding: the registry reads the existing per-channel stat
+        objects at snapshot time, never on the transaction hot path.
+        """
+        for channel in self.channels:
+            stats = channel.stats
+            registry.bind_many(
+                f"dram.ch{channel.index}",
+                {
+                    "reads": lambda s=stats: s.reads,
+                    "writes": lambda s=stats: s.writes,
+                    "row_hits": lambda s=stats: s.row_hits,
+                    "row_misses": lambda s=stats: s.row_misses,
+                    "refreshes": lambda s=stats: s.refreshes,
+                    "queueing_ticks_total": lambda s=stats: s.queueing_ticks_total,
+                },
+            )
+            registry.bind_gauge(
+                f"dram.ch{channel.index}.queue_depth",
+                lambda c=channel: c.occupancy,
+            )
+        for core in sorted(self.channels_per_core):
+            registry.bind_counter(
+                f"dram.core{core}.bytes",
+                lambda c=core: self.stats.bytes_per_core.get(c, 0),
+            )
+        registry.bind_counter("dram.requests", lambda: self.stats.requests)
+        registry.bind_counter("dram.total_bytes", lambda: self.stats.total_bytes)
+        registry.bind_gauge("dram.row_hit_rate", lambda: self.stats.row_hit_rate)
 
     @property
     def pending(self) -> int:

@@ -58,6 +58,7 @@ import signal
 import time
 import traceback as traceback_module
 from collections import deque
+from contextlib import nullcontext
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -66,6 +67,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.compute import tracecache
 from repro.config import presets
+from repro.obs.profiling import PhaseProfiler
 from repro.storage import (
     QUARANTINE_DIR,
     ShardStore,
@@ -328,6 +330,7 @@ class ExperimentRunner:
         fault_plan: "faults_module.FaultPlan | None" = None,
         journal: bool = True,
         trace_cache: bool = True,
+        profile: bool = False,
     ) -> None:
         """``run_timeout`` bounds each run's wall clock (seconds, ``None``
         = unbounded); ``max_attempts`` caps executions per retriable spec;
@@ -336,7 +339,13 @@ class ExperimentRunner:
         testing; ``journal=False`` turns off the sweep journal;
         ``trace_cache=False`` disables the compiled-frontend cache (the
         ``--no-trace-cache`` escape hatch — every run regenerates its
-        request traces live).
+        request traces live); ``profile=True`` arms :attr:`profiler` (a
+        :class:`~repro.obs.profiling.PhaseProfiler`) so runs and sweeps
+        account per-phase wall time — cache reads, frontend compilation,
+        simulation, cache writes — surfaced by ``mnpusim profile`` and a
+        ``profile`` sweep-journal event.  ``cache_write`` time is spent
+        inside the ``execute`` window (shards are stored as runs settle),
+        so phase times overlap and need not sum to the elapsed total.
         """
         self.scale = scale
         self.max_ticks = max_ticks
@@ -363,6 +372,8 @@ class ExperimentRunner:
         self.journal: SweepJournal | None = (
             SweepJournal(self.cache_dir / JOURNAL_NAME) if journal else None
         )
+        #: Wall-time phase accounting (``profile=True``); ``None`` when off.
+        self.profiler: PhaseProfiler | None = PhaseProfiler() if profile else None
         self.per_core = presets.per_core_resources(scale)
         self.runs_executed = 0
         self.cache_hits = 0
@@ -558,9 +569,28 @@ class ExperimentRunner:
         self.cache_hits += 1
         return results
 
+    def cache_usage(self) -> dict[str, int]:
+        """Disk usage of the result store: shards / bytes / quarantined."""
+        return self._result_store.usage()
+
     def _journal(self, event: str, **fields: Any) -> None:
         if self.journal is not None:
             self.journal.append(event, **fields)
+
+    def _phase(self, name: str):
+        """Profiling context for one runner phase (no-op when off)."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.phase(name)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.profiler is not None and amount:
+            self.profiler.count(name, amount)
+
+    def _journal_profile(self) -> None:
+        """Append the profiler snapshot to the sweep journal."""
+        if self.profiler is not None:
+            self._journal("profile", **self.profiler.snapshot())
 
     # ------------------------------------------------------------------ #
     # Trace precompilation (the sweep's compile phase)
@@ -702,20 +732,25 @@ class ExperimentRunner:
         """
         spec = self.plan(spec)
         self._claim_trace_cache()
-        cached = self._cached(spec)
+        with self._phase("cache_read"):
+            cached = self._cached(spec)
         if cached is not None:
+            self._count("cache_hits")
             self.failures.pop(spec, None)
             return cached
         failure = self.failures.get(spec)
         if failure is not None:
             raise RunFailedError(failure)
         try:
-            results = self._execute_with_retry(spec)
+            with self._phase("execute"):
+                results = self._execute_with_retry(spec)
         except RunFailedError as error:
             self.failures[spec] = error.failure
             self._journal("fail", **error.failure.summary())
             raise
-        self._store(spec, results)
+        self._count("cold_runs")
+        with self._phase("cache_write"):
+            self._store(spec, results)
         self.runs_executed += 1
         self._journal("done", key=spec.cache_key(), label=spec.label)
         return results
@@ -751,16 +786,19 @@ class ExperimentRunner:
         started = time.monotonic()
         results: dict[RunSpec, list[dict[str, Any]]] = {}
         cold: list[RunSpec] = []
-        for spec in ordered:
-            # A new batch is a fresh start: stale failure records must not
-            # mask a spec that might succeed now.
-            self.failures.pop(spec, None)
-            cached = self._cached(spec)
-            if cached is not None:
-                results[spec] = cached
-            else:
-                cold.append(spec)
+        with self._phase("cache_read"):
+            for spec in ordered:
+                # A new batch is a fresh start: stale failure records must
+                # not mask a spec that might succeed now.
+                self.failures.pop(spec, None)
+                cached = self._cached(spec)
+                if cached is not None:
+                    results[spec] = cached
+                else:
+                    cold.append(spec)
         hits = len(results)
+        self._count("cache_hits", hits)
+        self._count("cold_runs", len(cold))
         cold_done = 0
         batch_failures: list[RunFailure] = []
         self._journal(
@@ -772,7 +810,8 @@ class ExperimentRunner:
         )
         # Compile phase: every distinct frontend of the cold runs is
         # resolved once before any simulation executes.
-        self._precompile_frontends(cold)
+        with self._phase("compile"):
+            self._precompile_frontends(cold)
 
         def report(spec: RunSpec | None) -> None:
             if progress is None:
@@ -795,7 +834,8 @@ class ExperimentRunner:
 
         def finish(spec: RunSpec, payload: list[dict[str, Any]]) -> None:
             nonlocal cold_done
-            self._store(spec, payload)
+            with self._phase("cache_write"):
+                self._store(spec, payload)
             self.runs_executed += 1
             results[spec] = payload
             cold_done += 1
@@ -818,16 +858,18 @@ class ExperimentRunner:
 
         report(None)
         if cold:
-            if jobs == 1 or len(cold) == 1:
-                self._run_serial(cold, finish, fail)
-            else:
-                self._run_pool(cold, jobs, finish, fail)
+            with self._phase("execute"):
+                if jobs == 1 or len(cold) == 1:
+                    self._run_serial(cold, finish, fail)
+                else:
+                    self._run_pool(cold, jobs, finish, fail)
         self.last_outcome = SweepOutcome(
             total=len(ordered),
             cache_hits=hits,
             executed=len(cold) - len(batch_failures),
             failures=tuple(batch_failures),
         )
+        self._journal_profile()
         return results
 
     def _run_serial(

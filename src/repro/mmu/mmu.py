@@ -22,6 +22,7 @@ from repro.mmu.tlb import Tlb
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.tracing import TraceLogger
+    from repro.obs.registry import CounterRegistry
 
 
 @dataclass
@@ -101,6 +102,31 @@ class Mmu:
     def tlb_for(self, core: int) -> Tlb:
         """The TLB instance serving ``core`` (shared or private)."""
         return self._tlbs[core]
+
+    def register_counters(self, registry: "CounterRegistry") -> None:
+        """Expose per-core translation stats to the registry (pull-based)."""
+        for core in sorted(self.cfg):
+            stats = self.stats[core]
+            registry.bind_many(
+                f"mmu.core{core}.tlb",
+                {
+                    "lookups": lambda s=stats: s.lookups,
+                    "hits": lambda s=stats: s.hits,
+                    "misses": lambda s=stats: s.misses,
+                },
+            )
+            registry.bind_counter(
+                f"mmu.core{core}.walks_started", lambda s=stats: s.walks_started
+            )
+            registry.bind_counter(
+                f"mmu.core{core}.coalesced", lambda s=stats: s.coalesced
+            )
+            registry.bind_gauge(
+                f"mmu.core{core}.tlb.miss_rate", lambda s=stats: s.miss_rate
+            )
+        registry.bind_gauge(
+            "mmu.pending_walk_pages", lambda: len(self._pending)
+        )
 
     def lookup_latency(self, core: int) -> int:
         """TLB lookup latency in the core's local cycles."""

@@ -41,6 +41,7 @@ from repro.mmu.pagetable import PageTable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.tracing import TraceLogger
+    from repro.obs.registry import CounterRegistry
 
 
 @dataclass
@@ -210,6 +211,29 @@ class WalkerPool:
         self._queues[core].append(_Walk(core, vpn, on_done, self.engine.now))
         self._queued_count += 1
         self._dispatch()
+
+    def register_counters(self, registry: "CounterRegistry") -> None:
+        """Expose per-core walk and PWC stats to the registry (pull-based)."""
+        for core in sorted(self.stats):
+            stats = self.stats[core]
+            registry.bind_many(
+                f"ptw.core{core}",
+                {
+                    "walks": lambda s=stats: s.walks,
+                    "walk_ticks_total": lambda s=stats: s.walk_ticks_total,
+                    "queue_ticks_total": lambda s=stats: s.queue_ticks_total,
+                },
+            )
+            pwc = self.pwc[core]
+            registry.bind_counter(f"ptw.core{core}.pwc.hits", lambda p=pwc: p.hits)
+            registry.bind_counter(
+                f"ptw.core{core}.pwc.misses", lambda p=pwc: p.misses
+            )
+            registry.bind_gauge(
+                f"ptw.core{core}.inflight", lambda c=core: self.inflight[c]
+            )
+        registry.bind_gauge("ptw.queue_depth", lambda: self._queued_count)
+        registry.bind_gauge("ptw.inflight_total", lambda: self._total_inflight)
 
     @property
     def queued(self) -> int:

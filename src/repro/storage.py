@@ -159,14 +159,19 @@ class ShardStore:
     # ------------------------------------------------------------------ #
 
     def shard_names(self, suffix: str = ".json") -> list[str]:
-        """Names of the shards currently in the store (sidecars excluded)."""
-        if not self.directory.is_dir():
+        """Names of the shards currently in the store (sidecars excluded).
+
+        An absent or unreadable directory is an empty store, never an
+        error — ``mnpusim cache stats`` must work before any run exists.
+        """
+        try:
+            return sorted(
+                entry.name
+                for entry in self.directory.iterdir()
+                if entry.is_file() and entry.name.endswith(suffix)
+            )
+        except OSError:
             return []
-        return sorted(
-            entry.name
-            for entry in self.directory.iterdir()
-            if entry.is_file() and entry.name.endswith(suffix)
-        )
 
     def usage(self, suffix: str = ".json") -> dict[str, int]:
         """``{"shards": N, "bytes": B, "quarantined": Q}`` for this store."""
@@ -177,11 +182,12 @@ class ShardStore:
                 total += self.path(name).stat().st_size
             except OSError:  # pragma: no cover - racing deletion
                 pass
-        quarantined = 0
-        if self.quarantine_dir.is_dir():
+        try:
             quarantined = sum(
                 1 for entry in self.quarantine_dir.iterdir() if entry.is_file()
             )
+        except OSError:  # absent quarantine dir, or racing cleanup
+            quarantined = 0
         return {"shards": len(shards), "bytes": total, "quarantined": quarantined}
 
     def clear(self, suffix: str = ".json") -> int:

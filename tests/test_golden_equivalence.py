@@ -230,6 +230,42 @@ def test_trace_cache_modes_are_byte_equivalent(name, snapshots, tmp_path):
         tracecache.configure(enabled=saved_enabled)
 
 
+@pytest.mark.parametrize("name", CORPUS_IDS)
+def test_observability_is_byte_invisible(name, snapshots):
+    """``observe=True`` must not perturb a single pinned metric.
+
+    The observability layer is pull-based (counters read at snapshot
+    time, spans recorded from completion callbacks that already existed
+    for the trace logger), so arming it must leave every golden integer
+    — and therefore the result-shard bytes, which serialize only those
+    workload metrics — exactly as the goldens pin them.
+    """
+    spec = dict(CORPUS)[name]
+    networks = [zoo.get(workload, spec.scale) for workload in spec.workloads]
+    sim = MultiCoreNPUSim(spec.system(), networks, observe=True)
+    mix = sim.run(max_ticks=MAX_TICKS)
+    want = {
+        key: value
+        for key, value in snapshots[name].items()
+        if key not in ("cache_key", "shard_sha256")
+    }
+    assert metrics(mix) == want
+
+    # The snapshot rides along and agrees with the pinned aggregates.
+    assert mix.counters is not None
+    namespaces = {path.split(".")[0] for path in mix.counters["metrics"]}
+    assert {"dram", "mmu", "ptw", "dma", "compute", "engine"} <= namespaces
+    registry = sim.registry
+    assert registry is not None
+    assert registry.value("dram.requests") == mix.dram.reads + mix.dram.writes
+    channel_reads = sum(
+        registry.value(path)
+        for path in registry.paths()
+        if path.startswith("dram.ch") and path.endswith(".reads")
+    )
+    assert channel_reads == mix.dram.reads
+
+
 @pytest.mark.parametrize(
     "name", ["solo-dlrm-1ch-notrans", "mix-ncf-dlrm-D", "mix-ncf-dlrm-DWT"]
 )
