@@ -1,14 +1,16 @@
-"""Ablation (extension): output-stationary vs weight-stationary dataflow.
+"""Ablation (extension): output- vs weight- vs input-stationary dataflow.
 
 The paper evaluates the OS dataflow and lists WS as future work
-(section 4.1.2); this reproduction implements both.  This bench compares
-single-core latency per workload under each dataflow on the same system.
+(section 4.1.2); this reproduction implements OS, WS, and IS as
+registered engines.  This bench compares single-core latency per
+workload under each dataflow on the same system.
 """
 
 import dataclasses
 
 from conftest import emit, run_once
 
+from repro.compute.dataflow import registered_dataflows
 from repro.config import presets
 from repro.core.simulator import MultiCoreNPUSim
 from repro.experiments.report import format_table
@@ -23,23 +25,35 @@ def _cycles(name: str, dataflow: str) -> int:
 
 
 def test_ablation_dataflow(benchmark):
+    engines = registered_dataflows()
+
     def compute():
         return {
-            name: {"os": _cycles(name, "os"), "ws": _cycles(name, "ws")}
+            name: {engine: _cycles(name, engine) for engine in engines}
             for name in zoo.NAMES
         }
 
     data = run_once(benchmark, compute)
     rows = [
-        (name, values["os"], values["ws"], round(values["os"] / values["ws"], 2))
+        (
+            name,
+            *(values[engine] for engine in engines),
+            round(values["os"] / values["ws"], 2),
+            round(values["os"] / values["is"], 2),
+        )
         for name, values in data.items()
     ]
     emit(format_table(
-        ["workload", "OS cycles", "WS cycles", "OS/WS"], rows,
+        ["workload", *(f"{e.upper()} cycles" for e in engines), "OS/WS", "OS/IS"],
+        rows,
         title="\nAblation: dataflow choice (single-core, mini scale)",
     ))
-    # Both dataflows must run everything; neither dominates universally —
-    # WS favors long activation streams, OS favors deep reductions.
-    ratios = [values["os"] / values["ws"] for values in data.values()]
-    assert all(v["os"] > 0 and v["ws"] > 0 for v in data.values())
-    assert max(ratios) > 1.0 or min(ratios) < 1.0
+    # Every dataflow must run everything; none dominates universally —
+    # WS favors long activation streams, IS favors tall outputs, OS
+    # favors deep reductions.
+    assert all(
+        values[engine] > 0 for values in data.values() for engine in engines
+    )
+    for alt in ("ws", "is"):
+        ratios = [values["os"] / values[alt] for values in data.values()]
+        assert max(ratios) > 1.0 or min(ratios) < 1.0

@@ -32,6 +32,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import platform
 import shutil
@@ -206,6 +207,22 @@ def measure_sweep(repeats: int) -> dict:
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
 
+    # One fixed frontend re-keyed under every registered dataflow engine:
+    # the keys must all differ, or engines would silently share compiled
+    # traces (CI asserts this distinctness in the bench-smoke job).
+    from repro.compute.dataflow import registered_dataflows
+
+    probe_network = networks[SWEEP_WORKLOADS[0]]
+    probe_arch = next(
+        arch for spec in specs for _, arch in spec.frontends()
+    )
+    dataflow_trace_keys = {
+        dataflow: tracecache.frontend_fingerprint(
+            probe_network, dataclasses.replace(probe_arch, dataflow=dataflow)
+        )
+        for dataflow in registered_dataflows()
+    }
+
     return {
         "description": (
             "memory-side sweep: 12 solo specs (ncf/dlrm x 1/2/4ch x 4K/64K "
@@ -214,6 +231,7 @@ def measure_sweep(repeats: int) -> dict:
         "specs": len(specs),
         "frontend_acquisitions": len(frontends),
         "distinct_frontends": len(distinct),
+        "dataflow_trace_keys": dataflow_trace_keys,
         "frontend": {
             "no_cache_seconds": round(frontend_no_cache, 6),
             "cold_seconds": round(frontend_cold, 6),

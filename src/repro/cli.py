@@ -21,11 +21,13 @@ agree for identical parameters.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
 
 from repro.compute import tracecache
+from repro.compute.dataflow import registered_dataflows
 from repro.compute.requestgen import RequestGenerator
 from repro.config import (
     load_arch_config,
@@ -100,8 +102,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("arch, network and npumem lists must have one line per core")
     dram = load_dram_config(args.dram_config)
     misc = load_misc_config(args.misc_config)
+    arch_configs = tuple(load_arch_config(path) for path in arch_paths)
+    if args.dataflow is not None:
+        # --dataflow overrides whatever the arch_config files chose, on
+        # every core (the files' own `dataflow` key still applies when
+        # the flag is absent).
+        arch_configs = tuple(
+            dataclasses.replace(arch, dataflow=args.dataflow)
+            for arch in arch_configs
+        )
     system = SystemConfig(
-        arch=tuple(load_arch_config(path) for path in arch_paths),
+        arch=arch_configs,
         npumem=tuple(load_npumem_config(path) for path in npumem_paths),
         dram=dram,
         misc=misc,
@@ -149,7 +160,11 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     # (iterations=1, staggered launch — see presets.mix_system).
     try:
         spec = RunSpec.mix(
-            names, sharing, scale=args.scale, page_bytes=args.page_bytes
+            names,
+            sharing,
+            scale=args.scale,
+            page_bytes=args.page_bytes,
+            dataflow=args.dataflow,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
@@ -252,6 +267,7 @@ def _figure_producers(runner, dual, quad):
         "fig13": lambda: figures.fig13_ptw_partition_performance(runner, dual)["overall"],
         "fig14": lambda: figures.fig14_ptw_partition_fairness(runner, dual)["overall"],
         "fig15": lambda: figures.fig15_pagesize_single(runner)["overall"],
+        "dataflow_compare": lambda: figures.dataflow_compare(runner)["overall"],
     }
 
 
@@ -265,6 +281,7 @@ def _make_runner(args: argparse.Namespace, *, profile: bool = False):
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         progress=None if args.quiet else _print_progress,
+        dataflow=args.dataflow,
         run_timeout=args.run_timeout,
         trace_cache=not args.no_trace_cache,
         profile=profile,
@@ -346,6 +363,11 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--mixes", type=int, default=None,
                         help="limit the workload-mix count (default: full dual, 60 quad)")
     parser.add_argument("--scale", default="mini", choices=("mini", "full"))
+    parser.add_argument(
+        "--dataflow", default="os", choices=registered_dataflows(),
+        help="dataflow engine the planned runs default to (dataflow_compare "
+             "sweeps all registered engines regardless)",
+    )
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument(
         "--jobs", type=int, default=1,
@@ -370,6 +392,24 @@ def _add_no_trace_cache_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _trace_shards_by_dataflow(store) -> dict[str, int]:
+    """Trace-shard counts grouped by dataflow tag, registry order first.
+
+    Trace shards are named after their frontend fingerprint, which leads
+    with the compiling engine's name (``os-<digest>.json``), so the tag
+    is recoverable from the filename alone.  Shards written before
+    fingerprints carried the tag have no ``-`` and group as "untagged".
+    """
+    counts: dict[str, int] = {}
+    for name in store.shard_names():
+        stem = name.rsplit(".", 1)[0]
+        tag = stem.split("-", 1)[0] if "-" in stem else "untagged"
+        counts[tag] = counts.get(tag, 0) + 1
+    known = [df for df in registered_dataflows() if df in counts]
+    other = sorted(tag for tag in counts if tag not in known)
+    return {tag: counts[tag] for tag in (*known, *other)}
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or clear the on-disk result and trace shard stores."""
     from repro.storage import ShardStore
@@ -391,6 +431,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{human_bytes(usage['bytes']):>10s}, "
                 f"{usage['quarantined']} quarantined  ({store.directory})"
             )
+            if kind == "traces":
+                for tag, count in _trace_shards_by_dataflow(store).items():
+                    print(f"{'':8s} {count:5d} shard(s) tagged {tag}")
         return 0
     for kind in kinds:
         removed = stores[kind].clear()
@@ -521,6 +564,10 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("result_path", help="output directory")
     run.add_argument("misc_config", help="misc (execution mode) config file")
     run.add_argument("--scale", default="mini", choices=("mini", "full"))
+    run.add_argument(
+        "--dataflow", default=None, choices=registered_dataflows(),
+        help="override the arch_config files' dataflow engine on every core",
+    )
     run.add_argument("--static-dram", action="store_true", help="partition channels statically")
     run.add_argument("--static-ptw", action="store_true", help="partition walkers statically")
     run.add_argument("--static-tlb", action="store_true", help="keep per-core TLBs")
@@ -545,6 +592,10 @@ def main(argv: list[str] | None = None) -> int:
     mix.add_argument("--sharing", default="DWT", help="D, DW or DWT")
     mix.add_argument("--scale", default="mini", choices=("mini", "full"))
     mix.add_argument("--page-bytes", type=int, default=4096)
+    mix.add_argument(
+        "--dataflow", default="os", choices=registered_dataflows(),
+        help="dataflow engine compiling every core's traces (default: os)",
+    )
     mix.add_argument("--result-path", default=None)
     mix.add_argument(
         "--max-ticks", type=int, default=DEFAULT_MAX_TICKS,
@@ -565,7 +616,7 @@ def main(argv: list[str] | None = None) -> int:
     figure = sub.add_parser(
         "figure", help="regenerate one paper figure's headline numbers"
     )
-    figure.add_argument("name", help="fig4, fig5, ..., fig15")
+    figure.add_argument("name", help="fig4, fig5, ..., fig15 or dataflow_compare")
     _add_sweep_options(figure)
     figure.set_defaults(func=_cmd_figure)
 

@@ -1,6 +1,17 @@
-"""Compute-side models: systolic timing, tiling, trace compilation."""
+"""Compute-side models: dataflow engines, tiling, trace compilation."""
 
-from repro.compute.systolic import gemm_on_array, os_pass_cycles
+from repro.compute.dataflow import (
+    DataflowEngine,
+    get_engine,
+    register,
+    registered_dataflows,
+)
+from repro.compute.systolic import (
+    gemm_on_array,
+    is_pass_cycles,
+    os_pass_cycles,
+    ws_pass_cycles,
+)
 from repro.compute.tiling import Tile, TileShape, choose_tile_shape, tiles_for_gemm
 from repro.compute.requestgen import RequestGenerator, Run, TileTraffic
 from repro.compute.tracecache import (
@@ -12,7 +23,13 @@ from repro.compute.tracecache import (
 )
 
 __all__ = [
+    "DataflowEngine",
+    "get_engine",
+    "register",
+    "registered_dataflows",
     "os_pass_cycles",
+    "ws_pass_cycles",
+    "is_pass_cycles",
     "gemm_on_array",
     "TileShape",
     "Tile",

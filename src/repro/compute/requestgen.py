@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.compute.systolic import ComputeEstimate, gemm_on_array
-from repro.compute.tiling import Tile, TileShape, choose_tile_shape, tiles_for_gemm
+from repro.compute.dataflow import get_engine
+from repro.compute.systolic import ComputeEstimate
+from repro.compute.tiling import Tile, TileShape
 from repro.config.arch import ArchConfig
 from repro.models.layers import GemmOp, Network
 
@@ -126,6 +127,9 @@ class RequestGenerator:
             raise ValueError("transaction and element sizes must be positive")
         self.network = network
         self.arch = arch
+        # The dataflow engine owns tiling policy and compute-cycle model;
+        # everything else here (layout, run merging) is engine-neutral.
+        self._engine = get_engine(arch.dataflow)
         self._txn = arch.dram_transaction_bytes
         self._elem = arch.element_bytes
         self._layouts: list[_LayerLayout] = []
@@ -140,7 +144,7 @@ class RequestGenerator:
             self._layouts.append(
                 _LayerLayout(
                     gemm=gemm,
-                    shape=choose_tile_shape(gemm, arch),
+                    shape=self._engine.tile_shape(gemm, arch),
                     a_base=a_base,
                     b_base=b_base,
                     c_base=c_base,
@@ -214,7 +218,7 @@ class RequestGenerator:
         """
         layout = self._layouts[layer_index]
         gemm = layout.gemm
-        for tile in tiles_for_gemm(gemm, layout.shape):
+        for tile in self._engine.tiles(gemm, layout.shape):
             reads: list[Run] = []
             # A tile: rows m0..m0+tm, columns k0..k0+tk of an M x K matrix.
             reads.extend(
@@ -247,7 +251,7 @@ class RequestGenerator:
                 tile=tile,
                 reads=tuple(reads),
                 writes=writes,
-                compute=gemm_on_array(self.arch, tile.tm, tile.tk, tile.tn),
+                compute=self._engine.estimate(self.arch, tile.tm, tile.tk, tile.tn),
             )
 
     def all_tiles(self) -> Iterator[TileTraffic]:

@@ -1,8 +1,10 @@
-"""Systolic-array timing models (SCALE-Sim style).
+"""Systolic-array timing primitives (SCALE-Sim style).
 
 The paper implements the output-stationary (OS) dataflow and lists other
-dataflows as future work (section 4.1.2); this module implements OS *and*
-that future work, weight stationary (WS).
+dataflows as future work (section 4.1.2).  This module holds the
+per-pass timing formulas those dataflows are built from; the dataflow
+*engines* that compose them (tiling policy + tile-level cost model) live
+in :mod:`repro.compute.dataflow`.
 
 **Output stationary**: an ``R x C`` array computes an ``R x C`` block of
 outputs per *pass*: A-operand rows stream in from the left, B-operand
@@ -24,10 +26,21 @@ streams all ``n`` activation columns through it::
 skew).  A GEMM needs ``ceil(k/R) * ceil(m/C)`` weight folds.  WS
 amortizes weight loads over large ``n`` and pays per-fold overheads for
 deep reductions — the classic OS/WS trade-off SCALE-Sim exposes.
+
+**Input stationary**: the mirror of WS — an ``R x C`` block of the
+*input* activations (``R`` reduction rows by ``C`` output columns) stays
+resident while the ``m`` weight rows stream through it::
+
+    pass_cycles = R + (m + R + C - 2)
+
+A GEMM needs ``ceil(k/R) * ceil(n/C)`` input folds, so IS amortizes the
+input load over large ``m`` the way WS amortizes weights over large
+``n``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.config.arch import ArchConfig
@@ -56,26 +69,30 @@ def ws_pass_cycles(rows: int, cols: int, n: int) -> int:
     return rows + n + rows + cols - 2
 
 
-def gemm_on_array(arch: ArchConfig, m: int, k: int, n: int) -> ComputeEstimate:
-    """Cycles and PE utilization of an ``(m, k, n)`` GEMM on ``arch``.
+def is_pass_cycles(rows: int, cols: int, m: int) -> int:
+    """Cycles for one input-stationary fold streaming ``m`` weight rows."""
+    if rows <= 0 or cols <= 0 or m <= 0:
+        raise ValueError("pass dimensions must be positive")
+    return rows + m + rows + cols - 2
 
-    Utilization is MACs divided by the MAC slots the array offers during
-    the computation (``cycles * R * C``).  Small ``m``/``n`` relative to
-    the array dimensions waste PEs — the under-utilization problem that
-    motivates multi-core NPUs in the paper's introduction.
+
+def gemm_on_array(arch: ArchConfig, m: int, k: int, n: int) -> ComputeEstimate:
+    """Deprecated: cycles/utilization of an ``(m, k, n)`` GEMM on ``arch``.
+
+    This predates the dataflow-engine registry and is kept as a shim for
+    external callers and old scripts; it routes through the engine named
+    by ``arch.dataflow`` and returns exactly what that engine's
+    ``estimate`` does.  New code should resolve the engine itself::
+
+        from repro.compute.dataflow import get_engine
+        get_engine(arch.dataflow).estimate(arch, m, k, n)
     """
-    if min(m, k, n) <= 0:
-        raise ValueError("GEMM dimensions must be positive")
-    rows, cols = arch.array_rows, arch.array_cols
-    if arch.dataflow == "ws":
-        folds = -(-k // rows) * (-(-m // cols))
-        cycles = folds * ws_pass_cycles(rows, cols, n)
-    else:  # output stationary
-        passes = -(-m // rows) * (-(-n // cols))
-        cycles = passes * os_pass_cycles(rows, cols, k)
-    macs = m * k * n
-    return ComputeEstimate(
-        cycles=cycles,
-        macs=macs,
-        pe_utilization=macs / (cycles * arch.num_pes),
+    warnings.warn(
+        "gemm_on_array is deprecated; use "
+        "repro.compute.dataflow.get_engine(arch.dataflow).estimate(arch, m, k, n)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.compute.dataflow import get_engine
+
+    return get_engine(arch.dataflow).estimate(arch, m, k, n)

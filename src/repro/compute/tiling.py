@@ -62,7 +62,13 @@ def _align_down(value: int, unit: int) -> int:
     return max(unit, (value // unit) * unit)
 
 
-def choose_tile_shape(gemm: GemmOp, arch: ArchConfig) -> TileShape:
+def choose_tile_shape(
+    gemm: GemmOp,
+    arch: ArchConfig,
+    *,
+    m_step: int | None = None,
+    k_align: int = 1,
+) -> TileShape:
     """Pick a tile shape fitting the half-SPM budget.
 
     Strategy: if the whole GEMM fits, use it as a single tile.  Otherwise
@@ -70,44 +76,65 @@ def choose_tile_shape(gemm: GemmOp, arch: ArchConfig) -> TileShape:
     full-width rows are contiguous in memory, so the DMA streams whole
     slabs sequentially — the access pattern systolic NPU compilers
     produce, and the one that makes translation misses compulsory,
-    page-granular and bursty (paper section 2.3).  ``Tm`` stays an
-    array-height multiple so output-stationary passes run full; the
-    reduction depth ``Tk`` absorbs whatever budget remains.  When ``N``
-    alone is too wide for the budget, fall back to a balanced square
-    tile (correct, just strided).
+    page-granular and bursty (paper section 2.3).  ``Tm`` stays a
+    multiple of ``m_step`` so array passes run full; the reduction depth
+    ``Tk`` absorbs whatever budget remains.  When ``N`` alone is too
+    wide for the budget, fall back to a balanced square tile (correct,
+    just strided).
+
+    The two knobs are how dataflow engines specialize the shared policy:
+    ``m_step`` is the granularity ``Tm`` grows in (default
+    ``array_rows``, the output-stationary pass height; weight-stationary
+    uses ``array_cols`` because ``m`` maps to array columns there), and
+    ``k_align`` rounds ``Tk`` down to a multiple of itself when possible
+    (input-stationary aligns its resident reduction rows to the array
+    height).  The defaults reproduce the original output-stationary
+    policy exactly.
     """
     budget = arch.half_spm_bytes // arch.element_bytes
     if gemm.total_bytes * arch.element_bytes <= arch.half_spm_bytes:
         return TileShape(gemm.m, gemm.n, gemm.k)
-    slab = _slab_shape(gemm, arch, budget)
+    step = m_step if m_step is not None else arch.array_rows
+    slab = _slab_shape(gemm, budget, m_step=step, k_align=k_align)
     if slab is not None:
         return slab
-    return _square_shape(gemm, arch, budget)
+    return _square_shape(gemm, arch, budget, k_align=k_align)
 
 
-def _slab_shape(gemm: GemmOp, arch: ArchConfig, budget: int) -> TileShape | None:
+def _aligned_k(tk: int, k_align: int) -> int:
+    """``tk`` rounded down to a ``k_align`` multiple when that keeps >= 1."""
+    if k_align > 1 and tk >= k_align:
+        return (tk // k_align) * k_align
+    return tk
+
+
+def _slab_shape(
+    gemm: GemmOp, budget: int, *, m_step: int, k_align: int
+) -> TileShape | None:
     """Full-width-N tile, or None when N does not fit the budget."""
     tn = gemm.n
-    tm = min(gemm.m, arch.array_rows)
-    # Grow tm in array-height steps while at least one reduction row fits.
+    tm = min(gemm.m, m_step)
+    # Grow tm in m_step increments while at least one reduction row fits.
     while True:
-        grown = tm + arch.array_rows
+        grown = tm + m_step
         if grown > gemm.m or grown * tn + (grown + tn) > budget:
             break
         tm = grown
-    tk = (budget - tm * tn) // (tm + tn)
+    tk = _aligned_k((budget - tm * tn) // (tm + tn), k_align)
     if tk < 1:
         return None
     return TileShape(tm, tn, min(gemm.k, tk))
 
 
-def _square_shape(gemm: GemmOp, arch: ArchConfig, budget: int) -> TileShape:
+def _square_shape(
+    gemm: GemmOp, arch: ArchConfig, budget: int, *, k_align: int = 1
+) -> TileShape:
     """Balanced near-cubic tile for GEMMs whose N is too wide to slab."""
     side = max(1, int(math.sqrt(budget / 3)))
     tm = min(gemm.m, _align_down(side, arch.array_rows) if side >= arch.array_rows else side)
     tn = min(gemm.n, _align_down(side, arch.array_cols) if side >= arch.array_cols else side)
     while True:
-        tk = (budget - tm * tn) // (tm + tn)
+        tk = _aligned_k((budget - tm * tn) // (tm + tn), k_align)
         if tk >= 1:
             break
         # Budget too small for this (tm, tn): shrink the larger dimension.

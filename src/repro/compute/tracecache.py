@@ -56,6 +56,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Protocol, Union
 
+from repro.compute.dataflow import get_engine
 from repro.compute.requestgen import RequestGenerator, Run, TileTraffic
 from repro.compute.systolic import ComputeEstimate
 from repro.compute.tiling import Tile
@@ -120,20 +121,30 @@ def frontend_fingerprint(network: Network, arch: ArchConfig) -> str:
     yields a new fingerprint (and therefore a recompile), while replay-
     side knobs (frequency, DMA width, the whole memory system) share the
     compiled trace.
+
+    The dataflow engine that compiles the trace contributes its
+    ``(name, version)`` pair to the hashed payload — bumping an engine's
+    ``version`` after a model refinement invalidates exactly that
+    engine's cached traces — and the engine name also prefixes the
+    returned fingerprint (``os-<digest>``), so on-disk trace shards are
+    attributable to their dataflow by filename alone (``mnpusim cache
+    stats`` groups on this tag).
     """
+    engine = get_engine(arch.dataflow)
     layers = [
         [type(layer).__name__, dataclasses.asdict(layer)]
         for layer in network.layers
     ]
     payload = {
         "version": TRACE_VERSION,
+        "engine": [engine.name, engine.version],
         "arch": {name: getattr(arch, name) for name in _TRAFFIC_ARCH_FIELDS},
         "layers": layers,
     }
     digest = _fingerprint_hash(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     )
-    return digest.hexdigest()[:32]
+    return f"{engine.name}-{digest.hexdigest()[:32]}"
 
 
 @dataclass(frozen=True, eq=False)

@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-_SUPPORTED_DATAFLOWS = ("os", "ws")
+
+def _registered_dataflows() -> tuple[str, ...]:
+    # Lazy import: repro.compute.dataflow (the engine registry) imports
+    # this module for type annotations, so resolving the registry at
+    # validation time — never at import time — keeps the layering acyclic.
+    from repro.compute.dataflow import registered_dataflows
+
+    return registered_dataflows()
 
 
 @dataclass(frozen=True)
@@ -25,9 +32,13 @@ class ArchConfig:
             buffering splits this into two half-sized buffers (paper
             section 2.3), so a tile must fit in ``spm_bytes // 2``.
         freq_mhz: Core clock frequency in MHz.
-        dataflow: Mapping dataflow: ``"os"`` (output stationary, the
-            paper's choice) or ``"ws"`` (weight stationary — the paper's
-            stated future work, implemented here as an extension).
+        dataflow: Name of the dataflow engine that compiles this core's
+            traces: ``"os"`` (output stationary, the paper's choice),
+            ``"ws"`` (weight stationary) or ``"is"`` (input stationary) —
+            the paper's stated future work, implemented as pluggable
+            engines.  Validated against the
+            :mod:`repro.compute.dataflow` registry, so third-party
+            engines registered there are accepted too.
         element_bytes: Size of one tensor element (int8 inference = 1).
         dram_transaction_bytes: Granularity of one DMA/DRAM transaction.
             The paper uses cache-line-sized 64 B transactions; the scaled
@@ -54,10 +65,11 @@ class ArchConfig:
             raise ValueError("SPM must hold at least two DRAM transactions")
         if self.freq_mhz <= 0:
             raise ValueError("core frequency must be positive")
-        if self.dataflow not in _SUPPORTED_DATAFLOWS:
+        registered = _registered_dataflows()
+        if self.dataflow not in registered:
             raise ValueError(
-                f"unsupported dataflow {self.dataflow!r}; the paper (and this "
-                f"reproduction) implement only {_SUPPORTED_DATAFLOWS}"
+                f"unsupported dataflow {self.dataflow!r}; registered engines: "
+                + ", ".join(registered)
             )
         if self.element_bytes <= 0:
             raise ValueError("element size must be positive")

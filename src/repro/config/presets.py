@@ -57,8 +57,15 @@ def per_core_resources(scale: str = "mini") -> dict[str, int]:
     return {"channels": CHANNELS_PER_CORE, "num_ptw": 1, "tlb_entries": 64}
 
 
-def cloud_arch(scale: str = "mini", name: str = "tpu") -> ArchConfig:
-    """The Table 2 compute configuration at the requested scale."""
+def cloud_arch(
+    scale: str = "mini", name: str = "tpu", *, dataflow: str = "os"
+) -> ArchConfig:
+    """The Table 2 compute configuration at the requested scale.
+
+    ``dataflow`` names the engine that compiles this core's traces
+    (default ``"os"``, the paper's choice; see
+    :mod:`repro.compute.dataflow` for the registry).
+    """
     _check_scale(scale)
     if scale == "full":
         return ArchConfig(
@@ -67,6 +74,7 @@ def cloud_arch(scale: str = "mini", name: str = "tpu") -> ArchConfig:
             array_cols=128,
             spm_bytes=36 * 1024 * 1024,
             freq_mhz=1000,
+            dataflow=dataflow,
             dram_transaction_bytes=64,
         )
     return ArchConfig(
@@ -75,6 +83,7 @@ def cloud_arch(scale: str = "mini", name: str = "tpu") -> ArchConfig:
         array_cols=32,
         spm_bytes=512 * 1024,
         freq_mhz=1000,
+        dataflow=dataflow,
         dram_transaction_bytes=256,
     )
 
@@ -129,6 +138,7 @@ def cloud_npu(
     misc: MiscConfig | None = None,
     channel_assignment: tuple[tuple[int, ...], ...] | None = None,
     ptw_assignment: tuple[int, ...] | None = None,
+    dataflow: str = "os",
 ) -> SystemConfig:
     """A homogeneous multi-core cloud NPU under a sharing level.
 
@@ -147,7 +157,7 @@ def cloud_npu(
         raise ValueError(
             "Ideal means 'alone on the whole system'; build it with solo_slice()"
         )
-    arch = cloud_arch(scale)
+    arch = cloud_arch(scale, dataflow=dataflow)
     npumem = cloud_npumem(
         scale, page_bytes=page_bytes, translation_enabled=translation_enabled
     )
@@ -175,6 +185,7 @@ def mix_system(
     ptw_split: tuple[int, ...] | None = None,
     num_ptw_per_core: int | None = None,
     tlb_entries_per_core: int | None = None,
+    dataflow: str = "os",
     misc: MiscConfig | None = None,
 ) -> SystemConfig:
     """A :func:`cloud_npu` system configured the way mix experiments run.
@@ -196,6 +207,7 @@ def mix_system(
         scale=scale,
         page_bytes=page_bytes,
         translation_enabled=translation_enabled,
+        dataflow=dataflow,
         misc=misc
         or MiscConfig(iterations=1, start_stagger_cycles=MIX_STAGGER_CYCLES),
     )
@@ -227,6 +239,7 @@ def solo_slice(
     tlb_entries: int | None = None,
     page_bytes: int = 4096,
     translation_enabled: bool = True,
+    dataflow: str = "os",
     misc: MiscConfig | None = None,
 ) -> SystemConfig:
     """A single-core system owning an explicit resource slice.
@@ -237,7 +250,7 @@ def solo_slice(
     ratio partitions of section 4.3/4.4 are slices with 1..7 channels or
     walkers.
     """
-    arch = cloud_arch(scale)
+    arch = cloud_arch(scale, dataflow=dataflow)
     npumem = cloud_npumem(
         scale,
         page_bytes=page_bytes,

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
+from repro.compute.dataflow import registered_dataflows
 from repro.config import presets
 from repro.config.misc import MiscConfig
 from repro.core.metrics import box_stats, cdf_points, fairness, geomean
@@ -986,6 +987,91 @@ def fig16_pagesize_multi(
 
 
 # --------------------------------------------------------------------- #
+# Dataflow comparison (engine ablation)
+# --------------------------------------------------------------------- #
+
+
+def dataflow_compare_specs(
+    runner: ExperimentRunner,
+    workloads: Sequence[str] | None = None,
+    dataflows: Sequence[str] | None = None,
+) -> list[RunSpec]:
+    """Every spec behind the dataflow comparison: one solo per engine.
+
+    Each workload runs on the equal Static slice under every registered
+    dataflow engine (or an explicit subset), so the figure isolates the
+    compute-side effect of the tiling/timing model with the memory
+    system held fixed.
+    """
+    names = list(workloads) if workloads is not None else list(zoo.NAMES)
+    engines = (
+        list(dataflows) if dataflows is not None else list(registered_dataflows())
+    )
+    return [
+        runner.plan_solo(name, dataflow=engine)
+        for name in names
+        for engine in engines
+    ]
+
+
+def dataflow_compare(
+    runner: ExperimentRunner,
+    workloads: Sequence[str] | None = None,
+    dataflows: Sequence[str] | None = None,
+) -> dict[str, Any]:
+    """Per-workload cycles and speedup of each dataflow engine vs ``os``.
+
+    The paper evaluates output stationary and names other dataflows as
+    future work; this figure sweeps the registered engines over the model
+    zoo and reports, per workload, total cycles under each engine plus
+    the speedup relative to the ``os`` baseline (values above 1 mean the
+    engine finished faster than output stationary).
+    """
+    names = list(workloads) if workloads is not None else list(zoo.NAMES)
+    engines = (
+        list(dataflows) if dataflows is not None else list(registered_dataflows())
+    )
+    runner.run_many(dataflow_compare_specs(runner, names, engines))
+    cycles: dict[str, dict[str, int]] = {}
+    for name in names:
+        cycles[name] = {}
+        for engine in engines:
+            result = _maybe(
+                lambda n=name, e=engine: runner.solo(n, dataflow=e)
+            )
+            if result is not None:
+                cycles[name][engine] = result["cycles"]
+    speedup_vs_os: dict[str, dict[str, float]] = {}
+    for name, by_engine in cycles.items():
+        base = by_engine.get("os")
+        if base is None:
+            continue
+        speedup_vs_os[name] = {
+            engine: base / value for engine, value in by_engine.items()
+        }
+    overall = {
+        engine: _safe_geomean(
+            [
+                speedup_vs_os[name][engine]
+                for name in speedup_vs_os
+                if engine in speedup_vs_os[name]
+            ]
+        )
+        for engine in engines
+    }
+    return _attach_failures(
+        {
+            "workloads": names,
+            "dataflows": engines,
+            "cycles": cycles,
+            "speedup_vs_os": speedup_vs_os,
+            "overall": overall,
+        },
+        runner,
+    )
+
+
+# --------------------------------------------------------------------- #
 # Planner registry
 # --------------------------------------------------------------------- #
 
@@ -1022,6 +1108,10 @@ def _plan_fig16(runner, dual, quad):
     return fig16_specs(runner, 2, dual)
 
 
+def _plan_dataflow(runner, dual, quad):
+    return dataflow_compare_specs(runner)
+
+
 #: ``figure name -> planner(runner, dual_mixes, quad_mixes) -> [RunSpec]``.
 #: Figures 2 and 12 trace bandwidth inside one ad-hoc simulation and have
 #: no cacheable spec set; figures 17/18 live in :mod:`repro.mapping`.
@@ -1038,4 +1128,5 @@ FIGURE_PLANNERS = {
     "fig14": _plan_ptw,
     "fig15": _plan_fig15,
     "fig16": _plan_fig16,
+    "dataflow_compare": _plan_dataflow,
 }

@@ -89,7 +89,7 @@ from repro.errors import (
     TransientWorkerError,
 )
 from repro.experiments import faults as faults_module
-from repro.experiments.spec import RESULTS_VERSION, RunSpec
+from repro.experiments.spec import DEFAULT_DATAFLOW, RESULTS_VERSION, RunSpec
 from repro.models import zoo
 
 __all__ = [
@@ -323,6 +323,7 @@ class ExperimentRunner:
         jobs: int = 1,
         progress: ProgressCallback | None = None,
         *,
+        dataflow: str = DEFAULT_DATAFLOW,
         run_timeout: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
@@ -332,7 +333,10 @@ class ExperimentRunner:
         trace_cache: bool = True,
         profile: bool = False,
     ) -> None:
-        """``run_timeout`` bounds each run's wall clock (seconds, ``None``
+        """``dataflow`` is the engine the ``plan_*`` helpers default to
+        (the CLI's ``--dataflow`` flag sets it; individual specs may
+        still override it explicitly); ``run_timeout`` bounds each run's
+        wall clock (seconds, ``None``
         = unbounded); ``max_attempts`` caps executions per retriable spec;
         ``stall_window_ticks`` arms the engine stall watchdog (``None``
         disables it); ``fault_plan`` injects deterministic failures for
@@ -348,6 +352,7 @@ class ExperimentRunner:
         so phase times overlap and need not sum to the elapsed total.
         """
         self.scale = scale
+        self.dataflow = dataflow
         self.max_ticks = max_ticks
         self.jobs = max(1, jobs)
         self.progress = progress
@@ -437,6 +442,7 @@ class ExperimentRunner:
         tlb_entries: int | None = None,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> RunSpec:
         """Spec for one workload alone on an explicit resource slice."""
         return RunSpec.solo(
@@ -447,6 +453,7 @@ class ExperimentRunner:
             tlb_entries=tlb_entries,
             page_bytes=page_bytes,
             translation=translation,
+            dataflow=dataflow if dataflow is not None else self.dataflow,
         )
 
     def plan_ideal(
@@ -456,6 +463,7 @@ class ExperimentRunner:
         *,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> RunSpec:
         """Spec for the Ideal baseline: the whole N-core resource pool."""
         return RunSpec.ideal(
@@ -464,6 +472,7 @@ class ExperimentRunner:
             scale=self.scale,
             page_bytes=page_bytes,
             translation=translation,
+            dataflow=dataflow if dataflow is not None else self.dataflow,
         )
 
     def plan_static_equal(
@@ -472,10 +481,14 @@ class ExperimentRunner:
         *,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> RunSpec:
         """Spec for the equal Static split: one per-core resource share."""
         return self.plan_solo(
-            workload, page_bytes=page_bytes, translation=translation
+            workload,
+            page_bytes=page_bytes,
+            translation=translation,
+            dataflow=dataflow,
         )
 
     def plan_mix(
@@ -488,6 +501,7 @@ class ExperimentRunner:
         ptw_split: Sequence[int] | None = None,
         num_ptw_per_core: int | None = None,
         tlb_entries_per_core: int | None = None,
+        dataflow: str | None = None,
     ) -> RunSpec:
         """Spec for a co-simulation under a dynamic sharing level."""
         return RunSpec.mix(
@@ -499,6 +513,7 @@ class ExperimentRunner:
             ptw_split=ptw_split,
             num_ptw_per_core=num_ptw_per_core,
             tlb_entries_per_core=tlb_entries_per_core,
+            dataflow=dataflow if dataflow is not None else self.dataflow,
         )
 
     # ------------------------------------------------------------------ #
@@ -1070,6 +1085,7 @@ class ExperimentRunner:
         tlb_entries: int | None = None,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> dict[str, Any]:
         """One workload alone on an explicit resource slice.
 
@@ -1083,6 +1099,7 @@ class ExperimentRunner:
                 tlb_entries=tlb_entries,
                 page_bytes=page_bytes,
                 translation=translation,
+                dataflow=dataflow,
             )
         )[0]
 
@@ -1093,6 +1110,7 @@ class ExperimentRunner:
         *,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> dict[str, Any]:
         """The Ideal baseline: alone with the whole N-core resource pool."""
         return self.run(
@@ -1101,6 +1119,7 @@ class ExperimentRunner:
                 num_cores,
                 page_bytes=page_bytes,
                 translation=translation,
+                dataflow=dataflow,
             )
         )[0]
 
@@ -1110,9 +1129,15 @@ class ExperimentRunner:
         *,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str | None = None,
     ) -> dict[str, Any]:
         """The equal Static split: exactly one per-core resource share."""
-        return self.solo(workload, page_bytes=page_bytes, translation=translation)
+        return self.solo(
+            workload,
+            page_bytes=page_bytes,
+            translation=translation,
+            dataflow=dataflow,
+        )
 
     def mix(
         self,
@@ -1124,6 +1149,7 @@ class ExperimentRunner:
         ptw_split: Sequence[int] | None = None,
         num_ptw_per_core: int | None = None,
         tlb_entries_per_core: int | None = None,
+        dataflow: str | None = None,
     ) -> list[dict[str, Any]]:
         """Co-simulate ``names`` under a dynamic sharing level.
 
@@ -1139,5 +1165,6 @@ class ExperimentRunner:
                 ptw_split=ptw_split,
                 num_ptw_per_core=num_ptw_per_core,
                 tlb_entries_per_core=tlb_entries_per_core,
+                dataflow=dataflow,
             )
         )

@@ -30,6 +30,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.compute.dataflow import registered_dataflows
 from repro.config import presets
 from repro.config.arch import ArchConfig
 from repro.config.misc import MiscConfig
@@ -38,6 +39,11 @@ from repro.core.sharing import SharingLevel
 
 #: Bump to invalidate cached results when simulator semantics change.
 RESULTS_VERSION = 10
+
+#: The paper's dataflow.  Specs at the default omit the ``dataflow``
+#: descriptor key entirely, keeping every pre-axis cache shard (and the
+#: golden hashes pinned on them) byte-identical.
+DEFAULT_DATAFLOW = "os"
 
 
 @dataclass(frozen=True)
@@ -68,9 +74,15 @@ class RunSpec:
     ptw_split: tuple[int, ...] | None = None
     num_ptw_per_core: int | None = None
     tlb_entries_per_core: int | None = None
+    dataflow: str = DEFAULT_DATAFLOW
     version: int = RESULTS_VERSION
 
     def __post_init__(self) -> None:
+        if self.dataflow not in registered_dataflows():
+            raise ValueError(
+                f"unknown dataflow {self.dataflow!r}; registered engines: "
+                + ", ".join(registered_dataflows())
+            )
         object.__setattr__(self, "workloads", tuple(self.workloads))
         if self.ptw_split is not None:
             object.__setattr__(self, "ptw_split", tuple(self.ptw_split))
@@ -121,6 +133,7 @@ class RunSpec:
         tlb_entries: int | None = None,
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str = DEFAULT_DATAFLOW,
     ) -> "RunSpec":
         """One workload alone on a resource slice (defaults: one per-core
         Table 2 share, i.e. the equal Static split)."""
@@ -133,6 +146,7 @@ class RunSpec:
             tlb_entries=tlb_entries,
             page_bytes=page_bytes,
             translation=translation,
+            dataflow=dataflow,
         ).resolve()
 
     @classmethod
@@ -144,6 +158,7 @@ class RunSpec:
         scale: str = "mini",
         page_bytes: int = 4096,
         translation: bool = True,
+        dataflow: str = DEFAULT_DATAFLOW,
     ) -> "RunSpec":
         """The Ideal baseline: alone with the whole N-core resource pool."""
         per_core = presets.per_core_resources(scale)
@@ -155,6 +170,7 @@ class RunSpec:
             tlb_entries=per_core["tlb_entries"] * num_cores,
             page_bytes=page_bytes,
             translation=translation,
+            dataflow=dataflow,
         )
 
     @classmethod
@@ -169,6 +185,7 @@ class RunSpec:
         ptw_split: Sequence[int] | None = None,
         num_ptw_per_core: int | None = None,
         tlb_entries_per_core: int | None = None,
+        dataflow: str = DEFAULT_DATAFLOW,
     ) -> "RunSpec":
         """A co-simulation of ``workloads`` under a dynamic sharing level."""
         if isinstance(sharing, SharingLevel):
@@ -183,6 +200,7 @@ class RunSpec:
             ptw_split=tuple(ptw_split) if ptw_split is not None else None,
             num_ptw_per_core=num_ptw_per_core,
             tlb_entries_per_core=tlb_entries_per_core,
+            dataflow=dataflow,
         )
 
     # ------------------------------------------------------------------ #
@@ -208,8 +226,12 @@ class RunSpec:
         """Short human-readable identity, e.g. ``"mix ncf+gpt2 +DWT"``."""
         names = "+".join(self.workloads)
         if self.kind == "solo":
-            return f"solo {names} ch={self.channels} pg={self.page_bytes}"
-        return f"mix {names} {self.sharing_level.label}"
+            label = f"solo {names} ch={self.channels} pg={self.page_bytes}"
+        else:
+            label = f"mix {names} {self.sharing_level.label}"
+        if self.dataflow != DEFAULT_DATAFLOW:
+            label += f" df={self.dataflow}"
+        return label
 
     def resolve(self) -> "RunSpec":
         """Fill unset solo resource fields with the scale's per-core share."""
@@ -234,7 +256,7 @@ class RunSpec:
                 "through an ExperimentRunner first"
             )
         if self.kind == "solo":
-            return {
+            descriptor: dict[str, Any] = {
                 "version": self.version,
                 "kind": "solo",
                 "scale": self.scale,
@@ -245,18 +267,25 @@ class RunSpec:
                 "page_bytes": self.page_bytes,
                 "translation": self.translation,
             }
-        return {
-            "version": self.version,
-            "kind": "mix",
-            "scale": self.scale,
-            "workloads": list(self.workloads),
-            "sharing": self.sharing,
-            "page_bytes": self.page_bytes,
-            "translation": self.translation,
-            "ptw_split": list(self.ptw_split) if self.ptw_split else None,
-            "num_ptw_per_core": self.num_ptw_per_core,
-            "tlb_entries_per_core": self.tlb_entries_per_core,
-        }
+        else:
+            descriptor = {
+                "version": self.version,
+                "kind": "mix",
+                "scale": self.scale,
+                "workloads": list(self.workloads),
+                "sharing": self.sharing,
+                "page_bytes": self.page_bytes,
+                "translation": self.translation,
+                "ptw_split": list(self.ptw_split) if self.ptw_split else None,
+                "num_ptw_per_core": self.num_ptw_per_core,
+                "tlb_entries_per_core": self.tlb_entries_per_core,
+            }
+        if self.dataflow != DEFAULT_DATAFLOW:
+            # Omitted at the default so every descriptor (and result
+            # shard) written before the dataflow axis existed stays
+            # byte-identical — the golden shard hashes pin this.
+            descriptor["dataflow"] = self.dataflow
+        return descriptor
 
     def cache_key(self) -> str:
         """Stable content hash of the descriptor (the cache file stem)."""
@@ -295,6 +324,7 @@ class RunSpec:
                 tlb_entries=spec.tlb_entries,
                 page_bytes=spec.page_bytes,
                 translation_enabled=spec.translation,
+                dataflow=spec.dataflow,
                 misc=MiscConfig(iterations=1),
             )
         return presets.mix_system(
@@ -306,4 +336,5 @@ class RunSpec:
             ptw_split=self.ptw_split,
             num_ptw_per_core=self.num_ptw_per_core,
             tlb_entries_per_core=self.tlb_entries_per_core,
+            dataflow=self.dataflow,
         )

@@ -129,6 +129,67 @@ class TestMixCommand:
             ])
 
 
+class TestDataflowOptions:
+    def test_mix_dataflow_flag_changes_cycles(self, capsys):
+        assert main(["mix", "ncf", "ncf", "--sharing", "DWT"]) == 0
+        base = capsys.readouterr().out
+        assert (
+            main(["mix", "ncf", "ncf", "--sharing", "DWT", "--dataflow", "is"])
+            == 0
+        )
+        alt = capsys.readouterr().out
+
+        def cycles(text):
+            return [
+                int(line.split()[2])
+                for line in text.splitlines()
+                if "cycles" in line
+            ]
+
+        assert cycles(base) != cycles(alt)
+
+    def test_unknown_dataflow_flag_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["mix", "ncf", "ncf", "--dataflow", "rs"])
+
+    def test_run_dataflow_flag_overrides_config_files(self, config_tree, capsys):
+        args = [
+            "run",
+            str(config_tree["arch_list"]),
+            str(config_tree["net_list"]),
+            str(config_tree["dram"]),
+            str(config_tree["npumem_list"]),
+            str(config_tree["out"]),
+            str(config_tree["misc"]),
+        ]
+        assert main(args) == 0
+        base = capsys.readouterr().out
+        assert main(args + ["--dataflow", "ws"]) == 0
+        overridden = capsys.readouterr().out
+        assert base != overridden
+
+
+class TestCacheStatsByDataflow:
+    def test_trace_shards_grouped_by_engine_tag(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        traces.mkdir(parents=True)
+        (traces / ("os-" + "0" * 32 + ".json")).write_text("{}")
+        (traces / ("os-" + "1" * 32 + ".json")).write_text("{}")
+        (traces / ("ws-" + "2" * 32 + ".json")).write_text("{}")
+        # A shard from before fingerprints carried the engine tag.
+        (traces / ("a" * 32 + ".json")).write_text("{}")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard(s) tagged os" in out
+        assert "1 shard(s) tagged ws" in out
+        assert "1 shard(s) tagged untagged" in out
+
+    def test_stats_quiet_when_no_trace_shards(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tagged" not in out
+
+
 class TestModelsCommand:
     def test_lists_all_models(self, capsys):
         assert main(["models"]) == 0

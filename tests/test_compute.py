@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.compute.dataflow import get_engine
 from repro.compute.requestgen import RequestGenerator, Run
 from repro.compute.systolic import gemm_on_array, os_pass_cycles
 from repro.compute.tiling import (
@@ -29,23 +30,23 @@ class TestSystolic:
             os_pass_cycles(0, 8, 1)
 
     def test_single_pass_gemm(self):
-        est = gemm_on_array(ARCH, 8, 16, 8)
+        est = get_engine("os").estimate(ARCH, 8, 16, 8)
         assert est.cycles == os_pass_cycles(8, 8, 16)
         assert est.macs == 8 * 16 * 8
 
     def test_multi_pass_scales_linearly(self):
-        one = gemm_on_array(ARCH, 8, 16, 8)
-        four = gemm_on_array(ARCH, 16, 16, 16)
+        one = get_engine("os").estimate(ARCH, 8, 16, 8)
+        four = get_engine("os").estimate(ARCH, 16, 16, 16)
         assert four.cycles == 4 * one.cycles
 
     def test_utilization_bounded(self):
-        est = gemm_on_array(ARCH, 8, 128, 8)
+        est = get_engine("os").estimate(ARCH, 8, 128, 8)
         assert 0 < est.pe_utilization <= 1.0
 
     def test_small_m_wastes_pes(self):
         # M=1 fills one array row: utilization <= 1/8 of the full-M case.
-        small = gemm_on_array(ARCH, 1, 64, 8)
-        full = gemm_on_array(ARCH, 8, 64, 8)
+        small = get_engine("os").estimate(ARCH, 1, 64, 8)
+        full = get_engine("os").estimate(ARCH, 8, 64, 8)
         assert small.pe_utilization <= full.pe_utilization / 7.9
 
 
@@ -202,6 +203,28 @@ class TestRequestGenerator:
         assert runs1 == runs2
 
 
+class TestDeprecatedGemmShim:
+    """``gemm_on_array`` stays working but warns and routes via the registry."""
+
+    def test_warns_and_matches_os_engine(self):
+        from repro.compute.dataflow import get_engine
+
+        with pytest.warns(DeprecationWarning, match="gemm_on_array"):
+            est = gemm_on_array(ARCH, 8, 16, 8)
+        assert est == get_engine("os").estimate(ARCH, 8, 16, 8)
+
+    def test_routes_through_arch_dataflow(self):
+        from repro.compute.dataflow import get_engine
+
+        ws_arch = ArchConfig(
+            name="ws", array_rows=8, array_cols=8, spm_bytes=8192,
+            dram_transaction_bytes=64, dataflow="ws",
+        )
+        with pytest.warns(DeprecationWarning):
+            est = gemm_on_array(ws_arch, 8, 16, 100)
+        assert est == get_engine("ws").estimate(ws_arch, 8, 16, 100)
+
+
 class TestWeightStationary:
     WS_ARCH = ArchConfig(
         name="ws", array_rows=8, array_cols=8, spm_bytes=8192,
@@ -210,24 +233,30 @@ class TestWeightStationary:
 
     def test_ws_fold_count(self):
         from repro.compute.systolic import ws_pass_cycles
-        est = gemm_on_array(self.WS_ARCH, 8, 16, 100)
+        est = get_engine("ws").estimate(self.WS_ARCH, 8, 16, 100)
         # k=16 -> 2 row folds, m=8 -> 1 col fold.
         assert est.cycles == 2 * ws_pass_cycles(8, 8, 100)
 
+    def test_ws_fold_count_clips_partial_folds(self):
+        from repro.compute.systolic import ws_pass_cycles
+        # k=20 -> 3 row folds (two full, one partial), m=10 -> 2 col folds.
+        est = get_engine("ws").estimate(self.WS_ARCH, 10, 20, 100)
+        assert est.cycles == 6 * ws_pass_cycles(8, 8, 100)
+
     def test_ws_beats_os_for_long_streams(self):
         # Large n amortizes the weight load: WS wins.
-        ws = gemm_on_array(self.WS_ARCH, 8, 8, 4096)
-        os_est = gemm_on_array(ARCH, 8, 8, 4096)
+        ws = get_engine("ws").estimate(self.WS_ARCH, 8, 8, 4096)
+        os_est = get_engine("os").estimate(ARCH, 8, 8, 4096)
         assert ws.cycles < os_est.cycles
 
     def test_os_beats_ws_for_deep_reductions(self):
         # Huge k with tiny n: OS accumulates in place, WS refolds weights.
-        ws = gemm_on_array(self.WS_ARCH, 8, 4096, 4)
-        os_est = gemm_on_array(ARCH, 8, 4096, 4)
+        ws = get_engine("ws").estimate(self.WS_ARCH, 8, 4096, 4)
+        os_est = get_engine("os").estimate(ARCH, 8, 4096, 4)
         assert os_est.cycles < ws.cycles
 
     def test_ws_utilization_bounded(self):
-        est = gemm_on_array(self.WS_ARCH, 64, 64, 64)
+        est = get_engine("ws").estimate(self.WS_ARCH, 64, 64, 64)
         assert 0 < est.pe_utilization <= 1.0
 
     def test_ws_end_to_end_simulation(self):

@@ -33,12 +33,17 @@ class TestArchConfig:
         with pytest.raises(ValueError):
             ArchConfig(array_rows=0)
 
-    def test_accepts_both_dataflows(self):
-        assert ArchConfig(dataflow="os").dataflow == "os"
-        assert ArchConfig(dataflow="ws").dataflow == "ws"
+    def test_accepts_every_registered_dataflow(self):
+        from repro.compute.dataflow import registered_dataflows
+
+        assert set(registered_dataflows()) >= {"os", "ws", "is"}
+        for name in registered_dataflows():
+            assert ArchConfig(dataflow=name).dataflow == name
 
     def test_rejects_unknown_dataflow(self):
-        with pytest.raises(ValueError, match="dataflow"):
+        # The error enumerates the registry, not a hardcoded list, so
+        # third-party engines show up in it automatically.
+        with pytest.raises(ValueError, match="registered engines: os, ws, is"):
             ArchConfig(dataflow="rs")
 
     def test_rejects_non_power_of_two_transaction(self):

@@ -50,6 +50,16 @@ CORPUS: tuple[tuple[str, RunSpec], ...] = (
     ("mix-ncf-dlrm-D", RunSpec.mix(("ncf", "dlrm"), "D", scale="mini")),
     ("mix-ncf-dlrm-DWT", RunSpec.mix(("ncf", "dlrm"), "DWT", scale="mini")),
     ("mix-dlrm-dlrm-DW", RunSpec.mix(("dlrm", "dlrm"), "DW", scale="mini")),
+    # Per-dataflow goldens: one pinned run per non-default engine, on the
+    # same slice as solo-ncf-2ch so any divergence is the engine alone.
+    (
+        "solo-ncf-2ch-ws",
+        RunSpec.solo("ncf", scale="mini", channels=2, dataflow="ws"),
+    ),
+    (
+        "solo-ncf-2ch-is",
+        RunSpec.solo("ncf", scale="mini", channels=2, dataflow="is"),
+    ),
 )
 
 CORPUS_IDS = [name for name, _ in CORPUS]
@@ -175,6 +185,12 @@ def test_corpus_covers_required_axes():
     )
     assert any(not s.translation for s in specs.values()), (
         "need a translation-off config (no walk traffic)"
+    )
+    from repro.compute.dataflow import registered_dataflows
+
+    pinned_dataflows = {s.dataflow for s in specs.values()}
+    assert pinned_dataflows == set(registered_dataflows()), (
+        "every registered dataflow engine needs a pinned golden run"
     )
 
 

@@ -43,6 +43,8 @@ class TestCacheKey:
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, translation=False),
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, scale="full"),
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.D, ptw_split=(1, 3)),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, dataflow="ws"),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, dataflow="is"),
             dataclasses.replace(base, version=RESULTS_VERSION + 1),
         ]
         keys = {spec.cache_key() for spec in variants}
@@ -78,6 +80,35 @@ class TestCacheKey:
             "num_ptw_per_core": None,
             "tlb_entries_per_core": None,
         }
+
+    def test_default_dataflow_is_omitted_from_descriptor(self):
+        # Specs at the default engine must keep producing the pre-axis
+        # descriptor byte-for-byte — pinned by the legacy-format tests
+        # above and by the golden shard hashes.
+        assert "dataflow" not in RunSpec.solo("ncf").descriptor()
+        assert "dataflow" not in RunSpec.mix(
+            ("ncf", "gpt2"), SharingLevel.DWT
+        ).descriptor()
+
+    def test_non_default_dataflow_lands_in_descriptor_and_label(self):
+        spec = RunSpec.solo("ncf", dataflow="is")
+        descriptor = spec.descriptor()
+        assert descriptor["dataflow"] == "is"
+        assert list(descriptor)[-1] == "dataflow"
+        assert spec.label.endswith(" df=is")
+        assert spec.cache_key() != RunSpec.solo("ncf").cache_key()
+
+    def test_unknown_dataflow_rejected(self):
+        with pytest.raises(ValueError, match="registered engines"):
+            RunSpec.solo("ncf", dataflow="rs")
+
+    def test_dataflow_threads_into_system_config(self):
+        solo = RunSpec.solo("ncf", dataflow="ws").system()
+        assert all(arch.dataflow == "ws" for arch in solo.arch)
+        mix = RunSpec.mix(
+            ("ncf", "gpt2"), SharingLevel.DWT, dataflow="is"
+        ).system()
+        assert all(arch.dataflow == "is" for arch in mix.arch)
 
     def test_unresolved_solo_refuses_key(self, tmp_path):
         bare = RunSpec(kind="solo", workloads=("ncf",))
@@ -233,6 +264,40 @@ class TestRunMany:
         data = figures.fig4_dual_performance(runner, mixes)
         assert runner.runs_executed == executed
         assert set(data["overall"]) == {"Static", "+D", "+DW", "+DWT"}
+
+    def test_runner_dataflow_default_applies_to_planned_specs(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, dataflow="ws")
+        assert runner.plan_solo("ncf").dataflow == "ws"
+        assert runner.plan_ideal("ncf", 2).dataflow == "ws"
+        assert runner.plan_mix(("ncf", "gpt2"), SharingLevel.DWT).dataflow == "ws"
+        # Explicit per-spec engines always win over the runner default.
+        assert runner.plan_solo("ncf", dataflow="is").dataflow == "is"
+        # plan() must not touch an already-specified dataflow, or batch
+        # re-planning inside run_many would clobber per-spec engines.
+        explicit = RunSpec.solo("ncf", dataflow="is")
+        assert runner.plan(explicit).dataflow == "is"
+
+    def test_dataflow_compare_reduces_cached_batch(self, tmp_path, monkeypatch):
+        from repro.compute.dataflow import registered_dataflows
+        from repro.experiments import figures
+        from repro.models import zoo
+
+        monkeypatch.setattr(zoo, "NAMES", ("wa", "wb"))
+        runner = ExperimentRunner(cache_dir=tmp_path)
+        for name in ("wa", "wb"):
+            runner.register_network(_tiny(name))
+        data = figures.dataflow_compare(runner)
+        engines = list(registered_dataflows())
+        assert data["dataflows"] == engines
+        assert runner.runs_executed == 2 * len(engines)
+        for name in ("wa", "wb"):
+            assert set(data["cycles"][name]) == set(engines)
+            assert data["speedup_vs_os"][name]["os"] == 1.0
+        assert data["overall"]["os"] == 1.0
+        # Re-reducing is served entirely from cache.
+        again = figures.dataflow_compare(runner)
+        assert again == data
+        assert runner.runs_executed == 2 * len(engines)
 
     @pytest.mark.skipif(
         len(os.sched_getaffinity(0)) < 2,

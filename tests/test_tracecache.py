@@ -106,6 +106,30 @@ class TestFingerprint:
             network, arch
         )
 
+    def test_fingerprint_is_tagged_with_the_engine_name(self, network, arch):
+        """Shard filenames lead with the compiling engine, so the cache
+        CLI can group trace shards by dataflow without opening them."""
+        from repro.compute.dataflow import registered_dataflows
+
+        tags = set()
+        for dataflow in registered_dataflows():
+            fingerprint = frontend_fingerprint(
+                network, dataclasses.replace(arch, dataflow=dataflow)
+            )
+            tag, _, digest = fingerprint.partition("-")
+            assert tag == dataflow
+            assert len(digest) == 32
+            tags.add(fingerprint)
+        assert len(tags) == len(registered_dataflows())
+
+    def test_engine_version_bump_invalidates(self, network, arch, monkeypatch):
+        """Changing an engine's cycle model must recompile its traces."""
+        from repro.compute.dataflow import OutputStationary
+
+        before = frontend_fingerprint(network, arch)
+        monkeypatch.setattr(OutputStationary, "version", 2)
+        assert frontend_fingerprint(network, arch) != before
+
     def test_network_topology_invalidates(self, network, arch):
         first = network.layers[0]
         resized = dataclasses.replace(

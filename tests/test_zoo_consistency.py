@@ -1,7 +1,12 @@
 """Deeper consistency checks on the benchmark topologies."""
 
+import dataclasses
+
 import pytest
 
+from repro.compute.dataflow import registered_dataflows
+from repro.compute.requestgen import RequestGenerator
+from repro.config import presets
 from repro.models import zoo
 from repro.models.layers import ConvLayer
 
@@ -82,3 +87,42 @@ class TestTopologyConsistency:
         b = zoo.mini(name)
         assert a == b
         assert hash(a.layers) == hash(b.layers)
+
+
+class TestZooUnderEveryDataflow:
+    """Every zoo network must compile sanely under every registered engine.
+
+    The engines change tiling and timing, never the mathematics: MACs are
+    a property of the network, so they must agree across engines, while
+    cycles stay positive and utilization bounded.
+    """
+
+    @pytest.mark.parametrize("name", zoo.NAMES)
+    def test_mini_zoo_compiles_under_all_engines(self, name):
+        network = zoo.mini(name)
+        base = presets.cloud_arch("mini")
+        summaries = {}
+        for engine in registered_dataflows():
+            arch = dataclasses.replace(base, dataflow=engine)
+            summaries[engine] = RequestGenerator(network, arch).summary()
+        macs = {summary["macs"] for summary in summaries.values()}
+        assert macs == {float(network.total_macs)}
+        for engine, summary in summaries.items():
+            assert summary["ideal_compute_cycles"] > 0, engine
+            assert 0 < summary["pe_utilization"] <= 1, engine
+
+    def test_engines_disagree_on_cycles_somewhere(self):
+        # The axis must be real: at least one network must time differently
+        # across engines (all-equal would mean the plug-in point is dead).
+        base = presets.cloud_arch("mini")
+        distinct = set()
+        for name in zoo.NAMES:
+            network = zoo.mini(name)
+            cycles = tuple(
+                RequestGenerator(
+                    network, dataclasses.replace(base, dataflow=engine)
+                ).summary()["ideal_compute_cycles"]
+                for engine in registered_dataflows()
+            )
+            distinct.add(len(set(cycles)) > 1)
+        assert True in distinct
