@@ -28,6 +28,7 @@ from pathlib import Path
 
 from repro.compute import tracecache
 from repro.compute.dataflow import registered_dataflows
+from repro.core.replay import REPLAY_MODES
 from repro.compute.requestgen import RequestGenerator
 from repro.config import (
     load_arch_config,
@@ -102,6 +103,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("arch, network and npumem lists must have one line per core")
     dram = load_dram_config(args.dram_config)
     misc = load_misc_config(args.misc_config)
+    if args.replay_mode is not None:
+        # --replay-mode overrides the misc_config file's choice (all
+        # modes are byte-identical; see repro.core.replay).
+        misc = dataclasses.replace(misc, replay_mode=args.replay_mode)
     arch_configs = tuple(load_arch_config(path) for path in arch_paths)
     if args.dataflow is not None:
         # --dataflow overrides whatever the arch_config files chose, on
@@ -165,6 +170,7 @@ def _cmd_mix(args: argparse.Namespace) -> int:
             scale=args.scale,
             page_bytes=args.page_bytes,
             dataflow=args.dataflow,
+            replay_mode=args.replay_mode,
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
@@ -282,6 +288,7 @@ def _make_runner(args: argparse.Namespace, *, profile: bool = False):
         jobs=args.jobs,
         progress=None if args.quiet else _print_progress,
         dataflow=args.dataflow,
+        replay_mode=args.replay_mode,
         run_timeout=args.run_timeout,
         trace_cache=not args.no_trace_cache,
         profile=profile,
@@ -367,6 +374,11 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         "--dataflow", default="os", choices=registered_dataflows(),
         help="dataflow engine the planned runs default to (dataflow_compare "
              "sweeps all registered engines regardless)",
+    )
+    parser.add_argument(
+        "--replay-mode", default="event", choices=REPLAY_MODES,
+        help="replay kernel the planned runs default to (all modes "
+             "byte-identical; auto fast-forwards exclusive streaming)",
     )
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument(
@@ -568,6 +580,12 @@ def main(argv: list[str] | None = None) -> int:
         "--dataflow", default=None, choices=registered_dataflows(),
         help="override the arch_config files' dataflow engine on every core",
     )
+    run.add_argument(
+        "--replay-mode", default=None, choices=REPLAY_MODES,
+        help="override the misc_config file's replay kernel (event = "
+             "per-event baseline, batched = private-heap batching, auto "
+             "= batched + analytic fast-forward; all byte-identical)",
+    )
     run.add_argument("--static-dram", action="store_true", help="partition channels statically")
     run.add_argument("--static-ptw", action="store_true", help="partition walkers statically")
     run.add_argument("--static-tlb", action="store_true", help="keep per-core TLBs")
@@ -595,6 +613,11 @@ def main(argv: list[str] | None = None) -> int:
     mix.add_argument(
         "--dataflow", default="os", choices=registered_dataflows(),
         help="dataflow engine compiling every core's traces (default: os)",
+    )
+    mix.add_argument(
+        "--replay-mode", default="event", choices=REPLAY_MODES,
+        help="replay kernel (default: event; batched/auto are proven "
+             "byte-identical and faster on exclusively-owned resources)",
     )
     mix.add_argument("--result-path", default=None)
     mix.add_argument(

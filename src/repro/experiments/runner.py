@@ -89,7 +89,12 @@ from repro.errors import (
     TransientWorkerError,
 )
 from repro.experiments import faults as faults_module
-from repro.experiments.spec import DEFAULT_DATAFLOW, RESULTS_VERSION, RunSpec
+from repro.experiments.spec import (
+    DEFAULT_DATAFLOW,
+    DEFAULT_REPLAY_MODE,
+    RESULTS_VERSION,
+    RunSpec,
+)
 from repro.models import zoo
 
 __all__ = [
@@ -324,6 +329,7 @@ class ExperimentRunner:
         progress: ProgressCallback | None = None,
         *,
         dataflow: str = DEFAULT_DATAFLOW,
+        replay_mode: str = DEFAULT_REPLAY_MODE,
         run_timeout: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
@@ -335,7 +341,10 @@ class ExperimentRunner:
     ) -> None:
         """``dataflow`` is the engine the ``plan_*`` helpers default to
         (the CLI's ``--dataflow`` flag sets it; individual specs may
-        still override it explicitly); ``run_timeout`` bounds each run's
+        still override it explicitly); ``replay_mode`` likewise seeds the
+        ``plan_*`` helpers (``--replay-mode``; all modes are proven
+        byte-identical, see :mod:`repro.core.replay`); ``run_timeout``
+        bounds each run's
         wall clock (seconds, ``None``
         = unbounded); ``max_attempts`` caps executions per retriable spec;
         ``stall_window_ticks`` arms the engine stall watchdog (``None``
@@ -353,6 +362,7 @@ class ExperimentRunner:
         """
         self.scale = scale
         self.dataflow = dataflow
+        self.replay_mode = replay_mode
         self.max_ticks = max_ticks
         self.jobs = max(1, jobs)
         self.progress = progress
@@ -443,6 +453,7 @@ class ExperimentRunner:
         page_bytes: int = 4096,
         translation: bool = True,
         dataflow: str | None = None,
+        replay_mode: str | None = None,
     ) -> RunSpec:
         """Spec for one workload alone on an explicit resource slice."""
         return RunSpec.solo(
@@ -454,6 +465,8 @@ class ExperimentRunner:
             page_bytes=page_bytes,
             translation=translation,
             dataflow=dataflow if dataflow is not None else self.dataflow,
+            replay_mode=replay_mode if replay_mode is not None
+            else self.replay_mode,
         )
 
     def plan_ideal(
@@ -464,6 +477,7 @@ class ExperimentRunner:
         page_bytes: int = 4096,
         translation: bool = True,
         dataflow: str | None = None,
+        replay_mode: str | None = None,
     ) -> RunSpec:
         """Spec for the Ideal baseline: the whole N-core resource pool."""
         return RunSpec.ideal(
@@ -473,6 +487,8 @@ class ExperimentRunner:
             page_bytes=page_bytes,
             translation=translation,
             dataflow=dataflow if dataflow is not None else self.dataflow,
+            replay_mode=replay_mode if replay_mode is not None
+            else self.replay_mode,
         )
 
     def plan_static_equal(
@@ -482,6 +498,7 @@ class ExperimentRunner:
         page_bytes: int = 4096,
         translation: bool = True,
         dataflow: str | None = None,
+        replay_mode: str | None = None,
     ) -> RunSpec:
         """Spec for the equal Static split: one per-core resource share."""
         return self.plan_solo(
@@ -489,6 +506,7 @@ class ExperimentRunner:
             page_bytes=page_bytes,
             translation=translation,
             dataflow=dataflow,
+            replay_mode=replay_mode,
         )
 
     def plan_mix(
@@ -502,6 +520,7 @@ class ExperimentRunner:
         num_ptw_per_core: int | None = None,
         tlb_entries_per_core: int | None = None,
         dataflow: str | None = None,
+        replay_mode: str | None = None,
     ) -> RunSpec:
         """Spec for a co-simulation under a dynamic sharing level."""
         return RunSpec.mix(
@@ -514,6 +533,8 @@ class ExperimentRunner:
             num_ptw_per_core=num_ptw_per_core,
             tlb_entries_per_core=tlb_entries_per_core,
             dataflow=dataflow if dataflow is not None else self.dataflow,
+            replay_mode=replay_mode if replay_mode is not None
+            else self.replay_mode,
         )
 
     # ------------------------------------------------------------------ #

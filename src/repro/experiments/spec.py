@@ -35,6 +35,7 @@ from repro.config import presets
 from repro.config.arch import ArchConfig
 from repro.config.misc import MiscConfig
 from repro.config.system import SystemConfig
+from repro.core.replay import DEFAULT_REPLAY_MODE, REPLAY_MODES
 from repro.core.sharing import SharingLevel
 
 #: Bump to invalidate cached results when simulator semantics change.
@@ -75,6 +76,7 @@ class RunSpec:
     num_ptw_per_core: int | None = None
     tlb_entries_per_core: int | None = None
     dataflow: str = DEFAULT_DATAFLOW
+    replay_mode: str = DEFAULT_REPLAY_MODE
     version: int = RESULTS_VERSION
 
     def __post_init__(self) -> None:
@@ -82,6 +84,11 @@ class RunSpec:
             raise ValueError(
                 f"unknown dataflow {self.dataflow!r}; registered engines: "
                 + ", ".join(registered_dataflows())
+            )
+        if self.replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay mode {self.replay_mode!r}; choose from "
+                + ", ".join(REPLAY_MODES)
             )
         object.__setattr__(self, "workloads", tuple(self.workloads))
         if self.ptw_split is not None:
@@ -134,6 +141,7 @@ class RunSpec:
         page_bytes: int = 4096,
         translation: bool = True,
         dataflow: str = DEFAULT_DATAFLOW,
+        replay_mode: str = DEFAULT_REPLAY_MODE,
     ) -> "RunSpec":
         """One workload alone on a resource slice (defaults: one per-core
         Table 2 share, i.e. the equal Static split)."""
@@ -147,6 +155,7 @@ class RunSpec:
             page_bytes=page_bytes,
             translation=translation,
             dataflow=dataflow,
+            replay_mode=replay_mode,
         ).resolve()
 
     @classmethod
@@ -159,6 +168,7 @@ class RunSpec:
         page_bytes: int = 4096,
         translation: bool = True,
         dataflow: str = DEFAULT_DATAFLOW,
+        replay_mode: str = DEFAULT_REPLAY_MODE,
     ) -> "RunSpec":
         """The Ideal baseline: alone with the whole N-core resource pool."""
         per_core = presets.per_core_resources(scale)
@@ -171,6 +181,7 @@ class RunSpec:
             page_bytes=page_bytes,
             translation=translation,
             dataflow=dataflow,
+            replay_mode=replay_mode,
         )
 
     @classmethod
@@ -186,6 +197,7 @@ class RunSpec:
         num_ptw_per_core: int | None = None,
         tlb_entries_per_core: int | None = None,
         dataflow: str = DEFAULT_DATAFLOW,
+        replay_mode: str = DEFAULT_REPLAY_MODE,
     ) -> "RunSpec":
         """A co-simulation of ``workloads`` under a dynamic sharing level."""
         if isinstance(sharing, SharingLevel):
@@ -201,6 +213,7 @@ class RunSpec:
             num_ptw_per_core=num_ptw_per_core,
             tlb_entries_per_core=tlb_entries_per_core,
             dataflow=dataflow,
+            replay_mode=replay_mode,
         )
 
     # ------------------------------------------------------------------ #
@@ -231,6 +244,8 @@ class RunSpec:
             label = f"mix {names} {self.sharing_level.label}"
         if self.dataflow != DEFAULT_DATAFLOW:
             label += f" df={self.dataflow}"
+        if self.replay_mode != DEFAULT_REPLAY_MODE:
+            label += f" rm={self.replay_mode}"
         return label
 
     def resolve(self) -> "RunSpec":
@@ -285,6 +300,12 @@ class RunSpec:
             # shard) written before the dataflow axis existed stays
             # byte-identical — the golden shard hashes pin this.
             descriptor["dataflow"] = self.dataflow
+        if self.replay_mode != DEFAULT_REPLAY_MODE:
+            # Same omission rule as ``dataflow``: pre-axis shards keep
+            # their keys, and each non-default mode gets a distinct one.
+            # (Results are proven byte-identical across modes, but a
+            # shard must record how it was produced to stay auditable.)
+            descriptor["replay_mode"] = self.replay_mode
         return descriptor
 
     def cache_key(self) -> str:
@@ -325,7 +346,7 @@ class RunSpec:
                 page_bytes=spec.page_bytes,
                 translation_enabled=spec.translation,
                 dataflow=spec.dataflow,
-                misc=MiscConfig(iterations=1),
+                misc=MiscConfig(iterations=1, replay_mode=spec.replay_mode),
             )
         return presets.mix_system(
             len(self.workloads),
@@ -337,4 +358,9 @@ class RunSpec:
             num_ptw_per_core=self.num_ptw_per_core,
             tlb_entries_per_core=self.tlb_entries_per_core,
             dataflow=self.dataflow,
+            misc=MiscConfig(
+                iterations=1,
+                start_stagger_cycles=presets.MIX_STAGGER_CYCLES,
+                replay_mode=self.replay_mode,
+            ),
         )

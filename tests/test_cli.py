@@ -190,6 +190,61 @@ class TestCacheStatsByDataflow:
         assert "tagged" not in out
 
 
+class TestCacheCommandHardening:
+    """``mnpusim cache`` must degrade gracefully on every store state a
+    user can plausibly be in: never-created, freshly-emptied, or a
+    directory holding partial/foreign entries (quarantine subdir,
+    checksum sidecars, interrupted downloads)."""
+
+    def test_stats_on_missing_cache_dir(self, tmp_path, capsys):
+        target = tmp_path / "never" / "created"
+        assert main(["cache", "stats", "--cache-dir", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "traces" in out
+        assert "    0 shard(s)" in out
+        assert not target.exists(), "stats must not create the directory"
+
+    def test_stats_on_empty_traces_dir(self, tmp_path, capsys):
+        (tmp_path / "traces").mkdir(parents=True)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "tagged" not in out  # no shards -> no per-tag lines
+
+    def test_stats_on_partial_traces_dir(self, tmp_path, capsys):
+        """Only ``*.json`` files count; subdirectories (including the
+        quarantine dir), sidecars and temp files are ignored."""
+        traces = tmp_path / "traces"
+        traces.mkdir(parents=True)
+        (traces / ("os-" + "0" * 32 + ".json")).write_text("{}")
+        (traces / ("os-" + "0" * 32 + ".json.sha256")).write_text("feed")
+        (traces / ("os-" + "1" * 32 + ".json.tmp")).write_text("{")
+        (traces / "quarantine").mkdir()
+        (traces / "quarantine" / ("ws-" + "2" * 32 + ".json")).write_text("{}")
+        (traces / "notes.txt").write_text("hello")
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 shard(s) tagged os" in out
+        assert "ws" not in out  # quarantined shards are not live shards
+        assert "1 quarantined" in out
+
+    def test_stats_only_results_skips_trace_grouping(self, tmp_path, capsys):
+        traces = tmp_path / "traces"
+        traces.mkdir(parents=True)
+        (traces / ("os-" + "0" * 32 + ".json")).write_text("{}")
+        assert main(
+            ["cache", "stats", "--only", "results", "--cache-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+        assert "tagged" not in out
+
+    def test_clear_on_missing_and_empty_stores(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 0 results shard(s)" in out
+        assert "cleared 0 traces shard(s)" in out
+
+
 class TestModelsCommand:
     def test_lists_all_models(self, capsys):
         assert main(["models"]) == 0

@@ -26,6 +26,7 @@ class StubRunner:
 
     scale = "mini"
     dataflow = "os"
+    replay_mode = "event"
     plan_solo = ExperimentRunner.plan_solo
     plan_ideal = ExperimentRunner.plan_ideal
     plan_static_equal = ExperimentRunner.plan_static_equal

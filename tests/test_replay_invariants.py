@@ -1,0 +1,202 @@
+"""Property-based invariants of the replay governor and fast-forward.
+
+The differential suite (:mod:`tests.test_replay_equivalence`) proves the
+*outcome* is byte-identical; this module pins the *mechanisms* that make
+the proof sound:
+
+* eligibility is exactly the static exclusivity predicate — a
+  fast-forward window can never overlap a cross-core DRAM/MMU
+  interaction because sharing any channel (or any TLB/PTW state, or any
+  observer) disqualifies the core up front;
+* fast-forward blocks advance monotonically and stay inside the run;
+* elided events are conserved: the pinned ``events_processed`` is
+  identical whether micro-events are replayed, batched, or closed-form
+  skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import presets
+from repro.config.misc import MiscConfig
+from repro.config.system import SystemConfig
+from repro.core.replay import TurboDma, plan_replay
+from repro.core.simulator import MultiCoreNPUSim
+from repro.experiments.spec import RunSpec
+from repro.models import zoo
+
+MAX_TICKS = 50_000_000_000
+
+
+def _system(
+    num_cores: int = 1,
+    *,
+    shared: bool = False,
+    translation: bool = False,
+    iterations: int = 1,
+    replay_mode: str = "batched",
+    channels_per_core: int = 1,
+) -> SystemConfig:
+    arch = presets.cloud_arch("mini")
+    npumem = presets.cloud_npumem("mini", translation_enabled=translation)
+    dram = presets.hbm2_dram("mini", channels=num_cores * channels_per_core)
+    return SystemConfig(
+        arch=(arch,) * num_cores,
+        npumem=(npumem,) * num_cores,
+        dram=dram,
+        misc=MiscConfig(iterations=iterations, replay_mode=replay_mode),
+        share_dram=shared,
+        share_ptw=shared,
+        share_tlb=shared,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Eligibility: the static exclusivity predicate
+# --------------------------------------------------------------------- #
+
+
+def test_event_mode_disables_everything():
+    plan = plan_replay(_system(replay_mode="event"))
+    assert plan.eligible_cores() == ()
+    assert all("event" in d.reason for d in plan.decisions)
+
+
+def test_logging_disqualifies():
+    plan = plan_replay(_system(), logging_active=True)
+    assert plan.eligible_cores() == ()
+
+
+def test_translation_disqualifies():
+    plan = plan_replay(_system(translation=True))
+    assert plan.eligible_cores() == ()
+    assert "translation" in plan.decisions[0].reason
+
+
+def test_iterations_zero_disqualifies():
+    plan = plan_replay(_system(iterations=0))
+    assert plan.eligible_cores() == ()
+    assert "iterations" in plan.decisions[0].reason
+
+
+def test_shared_channels_disqualify_all_cores():
+    plan = plan_replay(_system(2, shared=True))
+    assert plan.eligible_cores() == ()
+    assert all("shares DRAM channels" in d.reason for d in plan.decisions)
+
+
+def test_partitioned_cores_are_eligible_and_disjoint():
+    system = _system(2, shared=False)
+    plan = plan_replay(system)
+    assert plan.eligible_cores() == (0, 1)
+    owned = [set(system.channels_for_core(core)) for core in range(2)]
+    assert owned[0] and owned[1] and not (owned[0] & owned[1])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_cores=st.sampled_from((1, 2, 4)),
+    shared=st.booleans(),
+    translation=st.booleans(),
+    iterations=st.sampled_from((0, 1, 2)),
+    replay_mode=st.sampled_from(("event", "batched", "auto")),
+    logging_active=st.booleans(),
+)
+def test_eligible_implies_exclusive(
+    num_cores, shared, translation, iterations, replay_mode, logging_active
+):
+    """Whenever a core is declared eligible, exclusivity actually holds."""
+    system = _system(
+        num_cores,
+        shared=shared,
+        translation=translation,
+        iterations=iterations,
+        replay_mode=replay_mode,
+    )
+    plan = plan_replay(system, logging_active=logging_active)
+    for decision in plan.decisions:
+        if not decision.eligible:
+            assert decision.reason
+            continue
+        assert replay_mode != "event"
+        assert not logging_active
+        assert not translation
+        assert iterations > 0
+        mine = set(system.channels_for_core(decision.core))
+        for other in range(num_cores):
+            if other != decision.core:
+                assert not (mine & set(system.channels_for_core(other)))
+
+
+# --------------------------------------------------------------------- #
+# Fast-forward windows: monotone, in-bounds, event-conserving
+# --------------------------------------------------------------------- #
+
+
+def _run_auto_with_block_log(monkeypatch):
+    """Run the streaming scenario in auto mode, recording every block."""
+    blocks: list[tuple[int, int]] = []  # (start_tick, cycles)
+    original = TurboDma._bulk
+
+    def spy(self, t):
+        n = original(self, t)
+        if n:
+            blocks.append((t, n))
+        return n
+
+    monkeypatch.setattr(TurboDma, "_bulk", spy)
+    spec = RunSpec.solo(
+        "dlrm", scale="mini", channels=1, translation=False, replay_mode="auto"
+    )
+    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    sim = MultiCoreNPUSim(spec.system(), networks)
+    result = sim.run(max_ticks=MAX_TICKS)
+    return sim, result, blocks
+
+
+def test_fast_forward_blocks_monotone_and_bounded(monkeypatch):
+    sim, result, blocks = _run_auto_with_block_log(monkeypatch)
+    assert blocks, "the streaming scenario must fast-forward"
+    turbo = sim.dmas[0]
+    assert isinstance(turbo, TurboDma)
+    burst = turbo._owned[0].burst_ticks
+    previous_end = -1
+    for start, cycles in blocks:
+        assert cycles > 0
+        assert start > previous_end, "blocks must advance strictly forward"
+        previous_end = start + cycles * burst
+        assert previous_end <= result.total_ticks
+    assert turbo.rstats.fast_forwards == len(blocks)
+    assert turbo.rstats.fast_forwarded_ticks == sum(
+        cycles * burst for _, cycles in blocks
+    )
+
+
+def test_event_counts_conserved_across_modes():
+    spec = RunSpec.solo("dlrm", scale="mini", channels=1, translation=False)
+    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    counts = {}
+    for mode in ("event", "batched", "auto"):
+        system = spec.system()
+        system = dataclasses.replace(
+            system, misc=dataclasses.replace(system.misc, replay_mode=mode)
+        )
+        sim = MultiCoreNPUSim(system, networks)
+        sim.run(max_ticks=MAX_TICKS)
+        counts[mode] = sim.engine.events_processed
+    assert counts["batched"] == counts["event"]
+    assert counts["auto"] == counts["event"]
+
+
+def test_no_fast_forward_under_sharing():
+    """Shared-DRAM mixes must never engage the governor, even in auto."""
+    system = _system(2, shared=True, replay_mode="auto")
+    networks = [zoo.get("ncf", "mini"), zoo.get("dlrm", "mini")]
+    sim = MultiCoreNPUSim(system, networks)
+    sim.run(max_ticks=MAX_TICKS)
+    assert sim.replay_plan.eligible_cores() == ()
+    assert not any(isinstance(dma, TurboDma) for dma in sim.dmas.values())

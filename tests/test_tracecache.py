@@ -337,3 +337,113 @@ class TestRunnerIntegration:
             assert (tmp_path / "serial" / name).read_bytes() == (
                 tmp_path / "parallel" / name
             ).read_bytes()
+
+
+# ---------------------------------------------------------------------- #
+# Replay modes and legacy shards
+# ---------------------------------------------------------------------- #
+
+
+class TestReplayModeIsReplaySide:
+    """``replay_mode`` lives in :class:`MiscConfig`, never in the arch,
+    so trace fingerprints — and therefore the compiled-trace shards on
+    disk — are shared across all replay modes by construction.  These
+    tests are the regression pin for that invariant: a refactor that
+    moved the knob into :class:`ArchConfig` would recompile (and double-
+    store) every trace for no semantic reason.
+    """
+
+    def test_fingerprint_identical_across_replay_modes(self, network):
+        from repro.core.replay import REPLAY_MODES
+
+        fingerprints = set()
+        for mode in REPLAY_MODES:
+            spec = RunSpec.solo("ncf", scale="mini", replay_mode=mode)
+            system = spec.system()
+            assert system.misc.replay_mode == mode
+            fingerprints.add(frontend_fingerprint(network, system.arch[0]))
+        assert len(fingerprints) == 1
+
+    def test_modes_share_one_trace_shard(self, tmp_path, process_cache_state):
+        """Three runner passes (one per mode) compile exactly once and
+        leave exactly one trace shard; the two later modes hit disk or
+        memo instead of recompiling."""
+        from repro.core.replay import REPLAY_MODES
+
+        compiles = 0
+        result_shards = set()
+        for index, mode in enumerate(REPLAY_MODES):
+            spec = RunSpec.solo(
+                "dlrm", scale="mini", channels=1,
+                translation=False, replay_mode=mode,
+            )
+            runner = ExperimentRunner(scale="mini", cache_dir=tmp_path)
+            runner.run_many([spec])
+            stats = runner.last_trace_stats
+            compiles += stats.compiles
+            if index:
+                assert stats.compiles == 0, f"{mode} recompiled the trace"
+            result_shards.add(f"{spec.cache_key()}.json")
+        assert compiles == 1
+        assert len(result_shards) == len(REPLAY_MODES)
+        for name in result_shards:
+            assert (tmp_path / name).exists()
+        trace_shards = list((tmp_path / "traces").glob("*.json"))
+        assert len(trace_shards) == 1
+
+
+class TestLegacyShards:
+    """Shards written before fingerprints carried the dataflow tag (a
+    bare digest stem, no ``-``) — and current OS-tagged shards — must
+    keep loading through the exact validated-read path the cache uses."""
+
+    def _store(self, tmp_path):
+        from repro.storage import ShardStore
+
+        quarantined = []
+        return (
+            ShardStore(
+                tmp_path, on_quarantine=lambda n, r: quarantined.append((n, r))
+            ),
+            quarantined,
+        )
+
+    @pytest.mark.parametrize(
+        "legacy_fingerprint",
+        [
+            "0123456789abcdef0123456789abcdef",  # pre-tag: bare digest
+            "os-0123456789abcdef0123456789abcdef",  # current: engine tag
+        ],
+        ids=["untagged", "os-tagged"],
+    )
+    def test_shard_round_trips(self, tmp_path, network, arch, legacy_fingerprint):
+        store, quarantined = self._store(tmp_path)
+        trace = compile_trace(network, arch)
+        relabeled = dataclasses.replace(trace, fingerprint=legacy_fingerprint)
+        store.write(
+            TraceCache.shard_name(legacy_fingerprint), encode_trace(relabeled)
+        )
+        loaded = store.read_validated(
+            TraceCache.shard_name(legacy_fingerprint),
+            lambda raw: decode_trace(raw, legacy_fingerprint),
+        )
+        assert loaded is not None
+        assert loaded.fingerprint == legacy_fingerprint
+        assert list(loaded.all_tiles()) == list(trace.all_tiles())
+        assert not quarantined
+
+    def test_cache_stats_groups_untagged_shards(self, tmp_path, network, arch):
+        """``mnpusim cache stats`` must group pre-tag shards as
+        "untagged" rather than crash or misattribute them."""
+        from repro.cli import _trace_shards_by_dataflow
+
+        store, _ = self._store(tmp_path)
+        trace = compile_trace(network, arch)
+        store.write(TraceCache.shard_name(trace.fingerprint), encode_trace(trace))
+        legacy = "0123456789abcdef0123456789abcdef"
+        store.write(
+            TraceCache.shard_name(legacy),
+            encode_trace(dataclasses.replace(trace, fingerprint=legacy)),
+        )
+        counts = _trace_shards_by_dataflow(store)
+        assert counts == {"os": 1, "untagged": 1}
