@@ -23,7 +23,9 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro.compute import tracecache
@@ -338,12 +340,60 @@ def _sweep_with(runner, args: argparse.Namespace) -> int:
         for name in args.names
         for spec in figures.FIGURE_PLANNERS[name](runner, dual, quad)
     ]
-    runner.run_many(specs)
+    try:
+        with _graceful_termination():
+            runner.run_many(specs)
+    except KeyboardInterrupt:
+        return _report_interrupted_sweep(runner)
     _print_cache_summary(runner, args.quiet)
     for name in args.names:
         data = _round4(producers[name]())
         print(format_mapping(f"{name} (scale={args.scale})", data))
     return _report_failures(runner)
+
+
+class _graceful_termination:
+    """Route SIGTERM through KeyboardInterrupt for the enclosed block.
+
+    SIGINT already raises KeyboardInterrupt; mapping SIGTERM onto the
+    same path means a supervisor's polite kill gets the identical
+    graceful unwind — the runner journals an ``interrupt`` record and
+    everything settled so far stays durable in the cache.  Only the main
+    thread may install signal handlers; elsewhere (tests driving the CLI
+    from worker threads) this is a no-op.
+    """
+
+    def __enter__(self):
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            self._previous = signal.signal(signal.SIGTERM, self._interrupt)
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+        return False
+
+    @staticmethod
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+
+def _report_interrupted_sweep(runner) -> int:
+    """Partial-failure summary after an interrupted sweep; exit code 130."""
+    outcome = runner.last_outcome
+    if outcome is not None:
+        print(
+            f"interrupted: {outcome.succeeded}/{outcome.total} settled "
+            f"({outcome.cache_hits} cached, {outcome.executed} executed, "
+            f"{len(outcome.failures)} failed); "
+            "settled results are cached — rerun to resume",
+            file=sys.stderr,
+        )
+    else:
+        print("interrupted before any spec settled", file=sys.stderr)
+    _report_failures(runner)
+    return 130
 
 
 def _round4(data: dict) -> dict:
@@ -438,19 +488,80 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         for kind in kinds:
             store = stores[kind]
             usage = store.usage()
+            quarantine = f"{usage['quarantined']} quarantined"
+            if usage["quarantined"]:
+                quarantine += f" ({human_bytes(usage['quarantine_bytes'])})"
             print(
                 f"{kind:8s} {usage['shards']:5d} shard(s), "
                 f"{human_bytes(usage['bytes']):>10s}, "
-                f"{usage['quarantined']} quarantined  ({store.directory})"
+                f"{quarantine}  ({store.directory})"
             )
             if kind == "traces":
                 for tag, count in _trace_shards_by_dataflow(store).items():
                     print(f"{'':8s} {count:5d} shard(s) tagged {tag}")
         return 0
     for kind in kinds:
-        removed = stores[kind].clear()
-        print(f"cleared {removed} {kind} shard(s) from {stores[kind].directory}")
+        store = stores[kind]
+        if getattr(args, "quarantine", False):
+            removed = store.clear_quarantine()
+            print(
+                f"cleared {removed} quarantined {kind} shard(s) "
+                f"from {store.quarantine_dir}"
+            )
+        else:
+            removed = store.clear()
+            print(f"cleared {removed} {kind} shard(s) from {store.directory}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep daemon until SIGTERM/SIGINT, then drain and exit.
+
+    The runner is built with ``keep_pool=True`` so the supervised worker
+    pool stays warm across requests, and the service owns the cache
+    (memo + disk), single-flight dedup, bounded admission, deadline
+    propagation and the circuit breaker (see :mod:`repro.serve.server`).
+    """
+    from repro.experiments.runner import ExperimentRunner
+    from repro.serve.server import CircuitBreaker, ServeDaemon, SweepService
+
+    runner = ExperimentRunner(
+        scale=args.scale,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        progress=None,
+        dataflow=args.dataflow,
+        replay_mode=args.replay_mode,
+        run_timeout=args.run_timeout,
+        trace_cache=not args.no_trace_cache,
+        keep_pool=True,
+    )
+    service = SweepService(
+        runner,
+        queue_limit=args.queue_limit,
+        default_deadline_seconds=args.default_deadline,
+        drain_timeout=args.drain_timeout,
+        breaker=CircuitBreaker(
+            threshold=args.breaker_threshold,
+            cooldown=args.breaker_cooldown,
+        ),
+    )
+    daemon = ServeDaemon(service, host=args.host, port=args.port)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_stop())
+    daemon.start()
+    # The smoke harness and operators parse this line for the bound port
+    # (--port 0 asks the OS for an ephemeral one).
+    print(f"serving on {daemon.url}", flush=True)
+    while not daemon.wait_for_stop(0.2):
+        pass
+    print("shutdown requested; draining...", file=sys.stderr, flush=True)
+    drained = daemon.stop()
+    print(
+        "stopped (clean drain)" if drained else "stopped (drain timed out)",
+        file=sys.stderr,
+    )
+    return 0 if drained else 1
 
 
 def _run_observed(args: argparse.Namespace):
@@ -704,7 +815,63 @@ def main(argv: list[str] | None = None) -> int:
         "--only", choices=("results", "traces"), default=None,
         help="restrict the action to one shard store",
     )
+    cache.add_argument(
+        "--quarantine", action="store_true",
+        help="clear only the quarantined (corrupt) shards, keeping the "
+             "healthy cache intact",
+    )
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep daemon: cached, deduplicated runs over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; the bound port is printed)",
+    )
+    serve.add_argument("--scale", default="mini", choices=("mini", "full"))
+    serve.add_argument(
+        "--dataflow", default="os", choices=registered_dataflows(),
+        help="dataflow engine served runs default to",
+    )
+    serve.add_argument(
+        "--replay-mode", default="event", choices=REPLAY_MODES,
+        help="replay kernel served runs default to",
+    )
+    serve.add_argument("--cache-dir", default=None,
+                       help="cache root (default: ./.repro_cache)")
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for cold simulations",
+    )
+    serve.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock budget (request deadlines tighten it)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max queued cold runs before shedding with 429",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=300.0, metavar="SECONDS",
+        help="deadline applied to requests that carry none",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="max time to let in-flight runs settle on shutdown",
+    )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive worker-pool crashes that open the circuit breaker",
+    )
+    serve.add_argument(
+        "--breaker-cooldown", type=float, default=30.0, metavar="SECONDS",
+        help="seconds the breaker stays open before a half-open probe",
+    )
+    _add_no_trace_cache_option(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

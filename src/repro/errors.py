@@ -122,6 +122,60 @@ class CacheIntegrityError(ReproError):
     """A cache shard failed validation (normally quarantined, not raised)."""
 
 
+class ServeError(ReproError):
+    """Base class of every error raised by the ``mnpusim serve`` stack."""
+
+
+class ProtocolError(ServeError):
+    """A request or response violated the serve wire protocol."""
+
+
+class ServerOverloadedError(ServeError):
+    """The daemon's admission queue is full; retry after backing off.
+
+    ``retry_after`` is the server's suggested minimum backoff in seconds
+    (the HTTP ``Retry-After`` header), or ``None`` when it offered none.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServeError):
+    """The daemon is not accepting work (circuit breaker open, draining)."""
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before a result could be produced."""
+
+
+class RemoteRunFailedError(ServeError):
+    """The daemon executed the spec and it failed terminally.
+
+    Carries the server-side :class:`RunFailure` summary fields so clients
+    can distinguish a crashed worker from a misconfigured spec without
+    parsing the message text.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "error",
+        label: str = "",
+        attempts: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.label = label
+        self.attempts = attempts
+
+
 @dataclass(frozen=True)
 class RunFailure:
     """Structured record of one spec that failed despite supervision.

@@ -54,6 +54,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import logging
+import os
+import random
 import signal
 import time
 import traceback as traceback_module
@@ -73,6 +75,7 @@ from repro.storage import (
     ShardStore,
     atomic_write_bytes,
     checksum_path,
+    encode_result_shard,
 )
 from repro.core.sharing import SharingLevel
 from repro.core.simulator import (
@@ -125,6 +128,12 @@ DEFAULT_MAX_ATTEMPTS = 3
 #: Base of the exponential retry backoff, in seconds.
 DEFAULT_RETRY_BACKOFF = 0.5
 
+#: Default jitter fraction applied to each backoff sleep.  A sleep of
+#: ``base`` becomes ``base * (1 + U[0, jitter])`` so a fleet of retrying
+#: specs (or serve clients resubmitting after a pool crash) decorrelates
+#: instead of thundering back in lockstep.
+DEFAULT_RETRY_JITTER = 0.25
+
 #: Longest single backoff sleep, in seconds.
 MAX_BACKOFF_SECONDS = 30.0
 
@@ -143,6 +152,10 @@ TRACE_DIR_NAME = "traces"
 
 #: Re-exported for back-compat; the constant lives with the presets now.
 MIX_STAGGER_CYCLES = presets.MIX_STAGGER_CYCLES
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: for per-call overrides of runner-level defaults (``run_timeout``).
+_UNSET: Any = object()
 
 
 def _configure_worker_trace_cache(directory: str | None, enabled: bool) -> None:
@@ -274,21 +287,45 @@ class SweepJournal:
         record = {"event": event, "ts": round(time.time(), 3), **fields}
         try:
             with self.path.open("a", encoding="utf-8") as handle:
+                # A crash mid-append leaves a torn line with no trailing
+                # newline; writing onto it would glue this record to the
+                # garbage and lose both.  Start on a fresh line instead —
+                # the torn line stays skippable, this record stays whole.
+                if handle.tell() > 0:
+                    with self.path.open("rb") as reader:
+                        reader.seek(-1, os.SEEK_END)
+                        if reader.read(1) != b"\n":
+                            handle.write("\n")
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
         except OSError:  # pragma: no cover - depends on filesystem state
             pass
 
     def read(self) -> list[dict[str, Any]]:
-        """Every parseable record, oldest first (corrupt lines skipped)."""
+        """Every parseable record, oldest first.
+
+        A crash mid-append leaves a truncated final line (the journal is
+        plain appended JSONL, deliberately not atomic); resume must shrug
+        that off, so unparseable lines are skipped with a warning rather
+        than raised — losing one journal record never loses any results,
+        which live in the content-addressed shard store.
+        """
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError:
             return []
         records = []
-        for line in text.splitlines():
+        for number, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
             try:
                 record = json.loads(line)
             except ValueError:
+                _LOG.warning(
+                    "sweep journal %s: skipping unparseable line %d "
+                    "(crash mid-write?)",
+                    self.path,
+                    number,
+                )
                 continue
             if isinstance(record, dict):
                 records.append(record)
@@ -333,11 +370,14 @@ class ExperimentRunner:
         run_timeout: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        retry_jitter: float = DEFAULT_RETRY_JITTER,
+        retry_budget: float | None = None,
         stall_window_ticks: int | None = DEFAULT_STALL_WINDOW_TICKS,
         fault_plan: "faults_module.FaultPlan | None" = None,
         journal: bool = True,
         trace_cache: bool = True,
         profile: bool = False,
+        keep_pool: bool = False,
     ) -> None:
         """``dataflow`` is the engine the ``plan_*`` helpers default to
         (the CLI's ``--dataflow`` flag sets it; individual specs may
@@ -347,9 +387,18 @@ class ExperimentRunner:
         bounds each run's
         wall clock (seconds, ``None``
         = unbounded); ``max_attempts`` caps executions per retriable spec;
+        ``retry_jitter`` randomizes each backoff sleep by up to that
+        fraction (0 restores the deterministic exponential schedule);
+        ``retry_budget`` caps the total wall clock (seconds) a single
+        spec may spend across all its attempts *and* backoff sleeps —
+        once exceeded the spec fails terminally instead of retrying;
         ``stall_window_ticks`` arms the engine stall watchdog (``None``
         disables it); ``fault_plan`` injects deterministic failures for
         testing; ``journal=False`` turns off the sweep journal;
+        ``keep_pool=True`` keeps the supervised worker pool alive across
+        :meth:`run_many` batches (the ``mnpusim serve`` daemon's warm
+        pool — call :meth:`close` when done; a broken pool is still
+        rebuilt transparently);
         ``trace_cache=False`` disables the compiled-frontend cache (the
         ``--no-trace-cache`` escape hatch — every run regenerates its
         request traces live); ``profile=True`` arms :attr:`profiler` (a
@@ -369,6 +418,10 @@ class ExperimentRunner:
         self.run_timeout = run_timeout
         self.max_attempts = max(1, max_attempts)
         self.retry_backoff = max(0.0, retry_backoff)
+        self.retry_jitter = max(0.0, retry_jitter)
+        self.retry_budget = retry_budget
+        self.keep_pool = keep_pool
+        self._pool: ProcessPoolExecutor | None = None
         self.stall_window_ticks = stall_window_ticks
         self.fault_plan = fault_plan
         if cache_dir is None:
@@ -400,8 +453,10 @@ class ExperimentRunner:
         #: Aggregate of the most recent :meth:`run_many` batch.
         self.last_outcome: SweepOutcome | None = None
         self._networks: dict[str, Any] = {}
-        # Injectable for tests: supervision sleeps (backoff) route here.
+        # Injectable for tests: supervision sleeps (backoff) route here,
+        # and backoff jitter draws from this RNG.
         self._sleep: Callable[[float], None] = time.sleep
+        self._random = random.Random()
 
     def register_network(self, network: Any) -> None:
         """Make a non-zoo network (e.g. a random net) runnable by name.
@@ -418,6 +473,51 @@ class ExperimentRunner:
         if name in self._networks:
             return self._networks[name]
         return zoo.get(name, self.scale)
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle (persistent under ``keep_pool=True``)
+    # ------------------------------------------------------------------ #
+
+    def _make_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_configure_worker_trace_cache,
+            initargs=(
+                str(self.trace_dir) if self.trace_cache else None,
+                self.trace_cache,
+            ),
+        )
+
+    def _acquire_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The pool a batch executes on.
+
+        With ``keep_pool`` the runner owns one long-lived pool sized to
+        ``self.jobs`` (idle workers are cheap; a warm pool saves the
+        daemon a fork storm per request); otherwise each batch gets a
+        right-sized throwaway pool, as before.
+        """
+        if not self.keep_pool:
+            return self._make_pool(workers)
+        if self._pool is None:
+            self._pool = self._make_pool(self.jobs)
+        return self._pool
+
+    def _discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear ``pool`` down; forget it if it was the persistent one."""
+        if pool is self._pool:
+            self._pool = None
+        _terminate_pool(pool)
+
+    def close(self) -> None:
+        """Release the persistent worker pool (no-op when none is live)."""
+        if self._pool is not None:
+            self._discard_pool(self._pool)
+
+    def __enter__(self) -> "ExperimentRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -562,9 +662,9 @@ class ExperimentRunner:
     def _store(self, spec: RunSpec, results: list[dict[str, Any]]) -> None:
         # The shard byte format is pinned by the golden-equivalence suite;
         # integrity metadata therefore lives in a sidecar, not the shard.
-        payload = json.dumps(
-            {"descriptor": spec.descriptor(), "results": results}, indent=1
-        ).encode("utf-8")
+        # The encoding is shared with the serve daemon so HTTP payloads
+        # and disk shards are byte-identical.
+        payload = encode_result_shard(spec.descriptor(), results)
         self._result_store.write(self._shard_name(spec), payload)
 
     def _validate_shard(
@@ -608,6 +708,19 @@ class ExperimentRunner:
     def cache_usage(self) -> dict[str, int]:
         """Disk usage of the result store: shards / bytes / quarantined."""
         return self._result_store.usage()
+
+    def cached_payload(self, spec: RunSpec) -> bytes | None:
+        """The validated result-shard bytes for ``spec``, or ``None``.
+
+        Exactly the bytes a cold run of the spec would publish to disk —
+        the serve daemon's cache-first read path, giving HTTP responses
+        that are byte-identical to CLI shards.
+        """
+        spec = self.plan(spec)
+        results = self._cached(spec)
+        if results is None:
+            return None
+        return encode_result_shard(spec.descriptor(), results)
 
     def _journal(self, event: str, **fields: Any) -> None:
         if self.journal is not None:
@@ -687,10 +800,28 @@ class ExperimentRunner:
         return self.fault_plan.lookup(spec)
 
     def _backoff(self, attempt: int) -> float:
-        """Sleep before retry ``attempt + 1``: exponential, capped."""
-        return min(
-            MAX_BACKOFF_SECONDS, self.retry_backoff * (2 ** (attempt - 1))
-        )
+        """Sleep before retry ``attempt + 1``: exponential, capped, jittered.
+
+        Jitter is additive-proportional (``base * (1 + U[0, jitter])``)
+        so concurrent retriers spread out instead of synchronizing; the
+        cap applies after jitter so the bound is absolute.
+        """
+        base = self.retry_backoff * (2 ** (attempt - 1))
+        if self.retry_jitter:
+            base *= 1.0 + self.retry_jitter * self._random.random()
+        return min(MAX_BACKOFF_SECONDS, base)
+
+    def _budget_spent(self, started: float, backoff: float) -> bool:
+        """True when retrying after ``backoff`` would bust ``retry_budget``.
+
+        The budget covers everything a spec has consumed since its first
+        attempt started — execution time and backoff sleeps alike — so a
+        crash-looping spec cannot monopolize a sweep (or the serve
+        daemon's pool) indefinitely even with generous ``max_attempts``.
+        """
+        if self.retry_budget is None:
+            return False
+        return (time.monotonic() - started) + backoff > self.retry_budget
 
     def _failure(
         self,
@@ -712,12 +843,18 @@ class ExperimentRunner:
             elapsed_seconds=time.monotonic() - started,
         )
 
-    def _execute_with_retry(self, spec: RunSpec) -> list[dict[str, Any]]:
+    def _execute_with_retry(
+        self, spec: RunSpec, run_timeout: float | None = _UNSET
+    ) -> list[dict[str, Any]]:
         """In-process execution with timeout + bounded retries.
 
-        Raises :class:`RunFailedError` (failure attached, not yet
-        recorded) when the spec fails terminally.
+        ``run_timeout`` overrides the runner default for this call (the
+        serve daemon's per-request deadline propagation).  Raises
+        :class:`RunFailedError` (failure attached, not yet recorded)
+        when the spec fails terminally.
         """
+        if run_timeout is _UNSET:
+            run_timeout = self.run_timeout
         networks = [self._network(name) for name in spec.workloads]
         attempt = 1
         started = time.monotonic()
@@ -728,13 +865,16 @@ class ExperimentRunner:
                     networks,
                     self.max_ticks,
                     stall_window=self.stall_window_ticks,
-                    timeout=self.run_timeout,
+                    timeout=run_timeout,
                     attempt=attempt,
                     fault=self._fault_for(spec),
                     in_pool=False,
                 )
             except TransientWorkerError as error:
-                if attempt >= self.max_attempts:
+                backoff = self._backoff(attempt)
+                if attempt >= self.max_attempts or self._budget_spent(
+                    started, backoff
+                ):
                     raise RunFailedError(
                         self._failure(spec, "crash", attempt, error, started)
                     ) from error
@@ -745,7 +885,7 @@ class ExperimentRunner:
                     attempt=attempt,
                     error=str(error),
                 )
-                self._sleep(self._backoff(attempt))
+                self._sleep(backoff)
                 attempt += 1
             except Exception as error:
                 raise RunFailedError(
@@ -796,6 +936,9 @@ class ExperimentRunner:
         specs: Iterable[RunSpec],
         jobs: int | None = None,
         progress: ProgressCallback | None = None,
+        *,
+        run_timeout: float | None = _UNSET,
+        force_pool: bool = False,
     ) -> dict[RunSpec, list[dict[str, Any]]]:
         """Execute a batch of specs, in parallel when ``jobs > 1``.
 
@@ -805,6 +948,14 @@ class ExperimentRunner:
         cache shard per completed run — workers never touch the cache
         directory — and reports progress through ``progress`` (or the
         runner's default callback) after every settled spec.
+
+        ``run_timeout`` overrides the runner-level wall-clock budget for
+        this batch only (the serve daemon propagates request deadlines
+        through it).  ``force_pool=True`` executes cold runs in the
+        worker pool even when a serial fast path would apply — required
+        whenever the caller is not the process main thread (the in-worker
+        SIGALRM timeout only arms there) and whenever worker crashes must
+        not take the calling process down.
 
         A spec that fails terminally does **not** abort the batch: it is
         recorded in :attr:`failures` (and the sweep journal) and simply
@@ -817,6 +968,8 @@ class ExperimentRunner:
         """
         jobs = self.jobs if jobs is None else max(1, jobs)
         progress = progress if progress is not None else self.progress
+        if run_timeout is _UNSET:
+            run_timeout = self.run_timeout
         self._claim_trace_cache()
         ordered = list(dict.fromkeys(self.plan(spec) for spec in specs))
         started = time.monotonic()
@@ -893,12 +1046,33 @@ class ExperimentRunner:
             report(spec)
 
         report(None)
-        if cold:
-            with self._phase("execute"):
-                if jobs == 1 or len(cold) == 1:
-                    self._run_serial(cold, finish, fail)
-                else:
-                    self._run_pool(cold, jobs, finish, fail)
+        try:
+            if cold:
+                with self._phase("execute"):
+                    if not force_pool and (jobs == 1 or len(cold) == 1):
+                        self._run_serial(cold, finish, fail, run_timeout)
+                    else:
+                        self._run_pool(cold, jobs, finish, fail, run_timeout)
+        except KeyboardInterrupt:
+            # Graceful interruption (SIGINT, or the CLI's SIGTERM
+            # handler): record where the sweep stood so a resumed run
+            # can be audited, then let the caller unwind.  Results are
+            # cache-first, so everything settled so far is durable.
+            self.last_outcome = SweepOutcome(
+                total=len(ordered),
+                cache_hits=hits,
+                executed=cold_done - len(batch_failures),
+                failures=tuple(batch_failures),
+            )
+            self._journal(
+                "interrupt",
+                total=len(ordered),
+                settled=hits + cold_done,
+                failed=len(batch_failures),
+                remaining=len(cold) - cold_done,
+            )
+            self._journal_profile()
+            raise
         self.last_outcome = SweepOutcome(
             total=len(ordered),
             cache_hits=hits,
@@ -913,10 +1087,11 @@ class ExperimentRunner:
         cold: Sequence[RunSpec],
         finish: Callable[[RunSpec, list[dict[str, Any]]], None],
         fail: Callable[[RunSpec, RunFailure], None],
+        run_timeout: float | None,
     ) -> None:
         for spec in cold:
             try:
-                payload = self._execute_with_retry(spec)
+                payload = self._execute_with_retry(spec, run_timeout)
             except RunFailedError as error:
                 fail(spec, error.failure)
             else:
@@ -928,6 +1103,7 @@ class ExperimentRunner:
         jobs: int,
         finish: Callable[[RunSpec, list[dict[str, Any]]], None],
         fail: Callable[[RunSpec, RunFailure], None],
+        run_timeout: float | None,
     ) -> None:
         """The supervised parallel executor.
 
@@ -949,22 +1125,15 @@ class ExperimentRunner:
         pending: deque[tuple[RunSpec, int]] = deque((spec, 1) for spec in cold)
         suspects: deque[tuple[RunSpec, int]] = deque()
         inflight: dict[Future, tuple[RunSpec, int, float]] = {}
+        # Retry budgets count from a spec's *first* submission, not the
+        # current attempt's, so crash-looping specs cannot reset the clock.
+        first_started: dict[RunSpec, float] = {}
 
-        def make_pool() -> ProcessPoolExecutor:
-            return ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_configure_worker_trace_cache,
-                initargs=(
-                    str(self.trace_dir) if self.trace_cache else None,
-                    self.trace_cache,
-                ),
-            )
-
-        pool = make_pool()
+        pool = self._acquire_pool(workers)
         hard_limit = (
             None
-            if self.run_timeout is None
-            else self.run_timeout + TIMEOUT_GRACE_SECONDS
+            if run_timeout is None
+            else run_timeout + TIMEOUT_GRACE_SECONDS
         )
 
         def submit(spec: RunSpec, attempt: int, origin: deque) -> bool:
@@ -975,7 +1144,7 @@ class ExperimentRunner:
                     tuple(self._network(name) for name in spec.workloads),
                     self.max_ticks,
                     stall_window=self.stall_window_ticks,
-                    timeout=self.run_timeout,
+                    timeout=run_timeout,
                     attempt=attempt,
                     fault=self._fault_for(spec),
                     in_pool=True,
@@ -984,12 +1153,13 @@ class ExperimentRunner:
                 origin.appendleft((spec, attempt))
                 return False
             inflight[future] = (spec, attempt, time.monotonic())
+            first_started.setdefault(spec, time.monotonic())
             return True
 
         def rebuild() -> None:
             nonlocal pool
-            _terminate_pool(pool)
-            pool = make_pool()
+            self._discard_pool(pool)
+            pool = self._acquire_pool(workers)
 
         def handle_breakage(timed_out: set[RunSpec] | None = None) -> None:
             # Pool death took every in-flight run with it; settle each one.
@@ -997,13 +1167,15 @@ class ExperimentRunner:
             solo = len(inflight) == 1
             for spec, attempt, t0 in list(inflight.values()):
                 if spec in timed_out:
-                    assert self.run_timeout is not None
+                    assert run_timeout is not None
                     error: BaseException = RunTimeoutError(
-                        f"run exceeded {self.run_timeout:.1f}s wall clock "
+                        f"run exceeded {run_timeout:.1f}s wall clock "
                         f"(worker killed): {spec.label}"
                     )
                     fail(spec, self._failure(spec, "timeout", attempt, error, t0))
-                elif attempt >= self.max_attempts:
+                elif attempt >= self.max_attempts or self._budget_spent(
+                    first_started.get(spec, t0), self._backoff(attempt)
+                ):
                     error = TransientWorkerError(
                         "worker process died (BrokenProcessPool)"
                     )
@@ -1066,7 +1238,10 @@ class ExperimentRunner:
                         handle_breakage()
                         break
                     except TransientWorkerError as error:
-                        if attempt >= self.max_attempts:
+                        backoff = self._backoff(attempt)
+                        if attempt >= self.max_attempts or self._budget_spent(
+                            first_started.get(spec, t0), backoff
+                        ):
                             fail(
                                 spec,
                                 self._failure(spec, "crash", attempt, error, t0),
@@ -1079,7 +1254,7 @@ class ExperimentRunner:
                                 attempt=attempt,
                                 error=str(error),
                             )
-                            self._sleep(self._backoff(attempt))
+                            self._sleep(backoff)
                             pending.appendleft((spec, attempt + 1))
                     except Exception as error:
                         fail(
@@ -1090,8 +1265,14 @@ class ExperimentRunner:
                         )
                     else:
                         finish(spec, payload)
-        finally:
-            _terminate_pool(pool)
+        except BaseException:
+            # Interrupt or internal error: the pool's state is unknown
+            # (workers may hold half-executed runs), so never keep it.
+            self._discard_pool(pool)
+            raise
+        else:
+            if not self.keep_pool:
+                self._discard_pool(pool)
 
     # ------------------------------------------------------------------ #
     # Back-compat kwarg API (thin wrappers over RunSpec)

@@ -1,0 +1,24 @@
+"""``mnpusim serve`` — the sweep-as-a-service daemon.
+
+* :mod:`repro.serve.protocol` — the typed HTTP/JSON wire format shared
+  by server and client;
+* :mod:`repro.serve.server` — the daemon: warm memo + disk cache,
+  single-flight dedup, bounded admission with load shedding, deadline
+  propagation, a circuit breaker around the worker pool, and graceful
+  drain;
+* :mod:`repro.serve.client` — the retrying client (backoff with jitter,
+  ``Retry-After`` aware, deadline-bounded).
+"""
+
+from repro.serve.client import ServeClient, ServeResult
+from repro.serve.protocol import PROTOCOL
+from repro.serve.server import CircuitBreaker, ServeDaemon, SweepService
+
+__all__ = [
+    "PROTOCOL",
+    "CircuitBreaker",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeResult",
+    "SweepService",
+]

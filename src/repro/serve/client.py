@@ -1,0 +1,287 @@
+"""Retrying HTTP client for the ``mnpusim serve`` daemon.
+
+Retries are safe *because* the protocol makes them idempotent: a spec is
+content-addressed by its cache key, so resubmitting after a 429/503 (or
+a dropped connection) converges on the same cache entry — either the
+dedup index joins the still-running cold job, or the now-warm cache
+answers instantly.  The client therefore retries aggressively:
+
+* exponential backoff with multiplicative jitter (no thundering herd
+  when a daemon sheds a burst),
+* the server's ``Retry-After`` hint is honoured as a floor,
+* the whole retry loop is bounded by one wall-clock deadline that also
+  rides to the server (so neither side computes past the point anyone
+  is still waiting for the answer).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import logging
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+from urllib.parse import urlsplit
+
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    ServeError,
+    ServerOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.experiments.spec import RunSpec
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "ServeResult"]
+
+_LOG = logging.getLogger("repro.serve.client")
+
+#: Errors worth retrying: explicit back-pressure, plus transport faults.
+_RETRIABLE = (ServerOverloadedError, ServiceUnavailableError, ConnectionError, OSError)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One successfully served spec.
+
+    ``payload`` is the exact result-shard byte sequence (hash it to
+    compare against any cache); ``results`` is its decoded per-workload
+    result list; ``source`` says where the daemon found it (``memo`` /
+    ``disk`` / ``dedup`` / ``cold``); ``attempts`` counts HTTP requests
+    spent, including retries.
+    """
+
+    payload: bytes
+    results: list[dict[str, Any]]
+    source: str
+    key: str
+    attempts: int
+
+
+class ServeClient:
+    """Deadline-aware, retrying client for one serve daemon.
+
+    ``base_url`` like ``http://127.0.0.1:8351``.  ``deadline_seconds``
+    bounds each :meth:`run` call end to end (propagated to the server);
+    ``None`` waits forever.  ``rng`` and ``sleep``/``clock`` are
+    injectable so tests exercise the retry schedule without real time.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        deadline_seconds: float | None = 300.0,
+        max_attempts: int = 8,
+        backoff_seconds: float = 0.2,
+        backoff_cap_seconds: float = 10.0,
+        jitter: float = 0.25,
+        timeout: float = 30.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        parts = urlsplit(base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ValueError(f"base_url must be http://host:port, got {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.deadline_seconds = deadline_seconds
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_seconds = backoff_seconds
+        self.backoff_cap_seconds = backoff_cap_seconds
+        self.jitter = max(0.0, jitter)
+        self.timeout = timeout
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self._clock = clock
+
+    # ------------------------------------------------------------------ #
+    # Transport (one fresh connection per request: the daemon's threaded
+    # server handles that fine, and it sidesteps every keep-alive
+    # half-closed-socket corner case a long-lived daemon client hits).
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        timeout: float,
+    ) -> tuple[int, dict[str, str], bytes]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            headers = {protocol.PROTOCOL_HEADER: protocol.PROTOCOL}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return (
+                response.status,
+                {key.title(): value for key, value in response.getheaders()},
+                raw,
+            )
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------------ #
+    # Probes
+    # ------------------------------------------------------------------ #
+
+    def healthy(self) -> bool:
+        """One non-retrying liveness probe."""
+        try:
+            status, _, _ = self._request(
+                "GET", protocol.HEALTH_PATH, timeout=self.timeout
+            )
+        except OSError:
+            return False
+        return status == 200
+
+    def ready(self) -> bool:
+        """One non-retrying readiness probe (breaker closed, not draining)."""
+        try:
+            status, _, _ = self._request(
+                "GET", protocol.READY_PATH, timeout=self.timeout
+            )
+        except OSError:
+            return False
+        return status == 200
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's ``/statz`` document."""
+        status, _, raw = self._request("GET", protocol.STATS_PATH, timeout=self.timeout)
+        if status != 200:
+            raise protocol.decode_error(status, raw)
+        return json.loads(raw)
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll :meth:`ready` until it passes or ``timeout`` elapses."""
+        started = self._clock()
+        while True:
+            if self.ready():
+                return True
+            if self._clock() - started >= timeout:
+                return False
+            self._sleep(interval)
+
+    # ------------------------------------------------------------------ #
+    # The run call
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self, spec: RunSpec, *, deadline_seconds: float | None = None
+    ) -> ServeResult:
+        """Submit one spec, retrying until a result or the deadline.
+
+        Raises the typed error of the last failure:
+        :class:`DeadlineExceededError` when the budget ran out,
+        :class:`RemoteRunFailedError` for a terminal simulation failure
+        (never retried — it is deterministic), :class:`ProtocolError`
+        for client/server disagreement (never retried), or the final
+        :class:`ServerOverloadedError` / :class:`ServiceUnavailableError`
+        when every attempt was shed.
+        """
+        budget = (
+            deadline_seconds
+            if deadline_seconds is not None
+            else self.deadline_seconds
+        )
+        deadline = None if budget is None else self._clock() + budget
+        attempt = 0
+        last_error: ServeError | None = None
+        while attempt < self.max_attempts:
+            attempt += 1
+            remaining = None if deadline is None else deadline - self._clock()
+            if remaining is not None and remaining <= 0:
+                break
+            body = protocol.encode_request(
+                protocol.RunRequest(spec=spec, deadline_seconds=remaining)
+            )
+            http_timeout = self.timeout
+            if remaining is not None:
+                # The socket must outlive the server-side deadline so a
+                # slow-but-in-budget run can still deliver its payload.
+                http_timeout = max(self.timeout, remaining + 5.0)
+            try:
+                status, headers, raw = self._request(
+                    "POST", protocol.RUN_PATH, body, timeout=http_timeout
+                )
+            except _RETRIABLE as error:
+                last_error = ServiceUnavailableError(
+                    f"transport failure talking to {self.host}:{self.port}: {error}"
+                )
+                self._pause(attempt, None, deadline)
+                continue
+            if status == 200:
+                return self._decode_result(spec, headers, raw, attempt)
+            error = protocol.decode_error(status, raw)
+            if isinstance(error, (ServerOverloadedError, ServiceUnavailableError)):
+                last_error = error
+                _LOG.debug(
+                    "attempt %d shed (%s); backing off", attempt, error
+                )
+                self._pause(attempt, error.retry_after, deadline)
+                continue
+            if isinstance(error, DeadlineExceededError) and (
+                deadline is None or deadline - self._clock() > 0
+            ):
+                # The server timed the *request* out but our overall
+                # budget has room (e.g. it was queued behind a burst):
+                # resubmit — likely a cache hit by now.
+                last_error = error
+                self._pause(attempt, None, deadline)
+                continue
+            raise error  # ProtocolError / RemoteRunFailedError / exhausted deadline
+        if deadline is not None and deadline - self._clock() <= 0:
+            raise DeadlineExceededError(
+                f"client deadline ({budget}s) expired after {attempt} attempt(s)"
+                + (f"; last error: {last_error}" if last_error else "")
+            )
+        assert last_error is not None
+        raise last_error
+
+    def _decode_result(
+        self,
+        spec: RunSpec,
+        headers: dict[str, str],
+        payload: bytes,
+        attempts: int,
+    ) -> ServeResult:
+        try:
+            document = json.loads(payload)
+            results = document["results"]
+        except (ValueError, KeyError, TypeError) as error:
+            raise ProtocolError(f"unparseable result payload: {error}") from error
+        source = headers.get(protocol.SOURCE_HEADER.title(), "")
+        if source not in protocol.SOURCES:
+            source = "unknown"
+        return ServeResult(
+            payload=payload,
+            results=results,
+            source=source,
+            key=headers.get(protocol.KEY_HEADER.title(), spec.resolve().cache_key()),
+            attempts=attempts,
+        )
+
+    def _pause(
+        self, attempt: int, retry_after: float | None, deadline: float | None
+    ) -> None:
+        """Sleep out one backoff step (bounded by the deadline)."""
+        pause = min(
+            self.backoff_cap_seconds,
+            self.backoff_seconds * (2 ** (attempt - 1)),
+        )
+        if self.jitter:
+            pause *= 1.0 + self.jitter * self._rng.random()
+        if retry_after is not None:
+            pause = max(pause, retry_after)
+        if deadline is not None:
+            pause = min(pause, max(0.0, deadline - self._clock()))
+        if pause > 0:
+            self._sleep(pause)

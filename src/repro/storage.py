@@ -26,6 +26,7 @@ Both on-disk caches — the experiment runner's result shards in
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
 import os
 from pathlib import Path
@@ -35,6 +36,20 @@ _LOG = logging.getLogger("repro.storage")
 
 #: Subdirectory of a store holding quarantined corrupt shards.
 QUARANTINE_DIR = "quarantine"
+
+
+def encode_result_shard(descriptor: dict[str, Any], results: list[Any]) -> bytes:
+    """The canonical result-shard byte encoding.
+
+    This exact byte sequence is what the experiment runner publishes to
+    disk *and* what ``mnpusim serve`` returns over HTTP, so a served
+    payload's sha256 always matches the shard a cold CLI run of the same
+    spec would write.  The format is pinned by the golden-equivalence
+    suite — do not change it without bumping ``RESULTS_VERSION``.
+    """
+    return json.dumps(
+        {"descriptor": descriptor, "results": results}, indent=1
+    ).encode("utf-8")
 
 
 def atomic_write_bytes(path: Path, data: bytes) -> None:
@@ -174,7 +189,13 @@ class ShardStore:
             return []
 
     def usage(self, suffix: str = ".json") -> dict[str, int]:
-        """``{"shards": N, "bytes": B, "quarantined": Q}`` for this store."""
+        """Disk usage: ``shards``/``bytes`` plus quarantine count/bytes.
+
+        The quarantine numbers make the store's *hidden* disk footprint
+        inspectable — quarantined shards are dead weight that only
+        ``clear_quarantine`` reclaims, so a long-running daemon's
+        operator needs to see them growing.
+        """
         shards = self.shard_names(suffix)
         total = 0
         for name in shards:
@@ -182,13 +203,25 @@ class ShardStore:
                 total += self.path(name).stat().st_size
             except OSError:  # pragma: no cover - racing deletion
                 pass
+        quarantined = 0
+        quarantine_bytes = 0
         try:
-            quarantined = sum(
-                1 for entry in self.quarantine_dir.iterdir() if entry.is_file()
-            )
+            for entry in self.quarantine_dir.iterdir():
+                if not entry.is_file():
+                    continue
+                quarantined += 1
+                try:
+                    quarantine_bytes += entry.stat().st_size
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
         except OSError:  # absent quarantine dir, or racing cleanup
-            quarantined = 0
-        return {"shards": len(shards), "bytes": total, "quarantined": quarantined}
+            pass
+        return {
+            "shards": len(shards),
+            "bytes": total,
+            "quarantined": quarantined,
+            "quarantine_bytes": quarantine_bytes,
+        }
 
     def clear(self, suffix: str = ".json") -> int:
         """Delete every shard (+sidecar) in the store; returns the count."""
@@ -197,5 +230,22 @@ class ShardStore:
             path = self.path(name)
             path.unlink(missing_ok=True)
             checksum_path(path).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def clear_quarantine(self) -> int:
+        """Delete every quarantined shard; returns the count removed."""
+        removed = 0
+        try:
+            entries = list(self.quarantine_dir.iterdir())
+        except OSError:  # absent quarantine dir: nothing to prune
+            return 0
+        for entry in entries:
+            if not entry.is_file():
+                continue
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
             removed += 1
         return removed

@@ -378,3 +378,148 @@ class TestFigureDegradation:
         assert "crash" in text
         assert "1 run(s) failed" in text
         assert format_failures([]) == ""
+
+
+# --------------------------------------------------------------------- #
+# Backoff jitter and the per-spec retry budget
+# --------------------------------------------------------------------- #
+
+
+class TestBackoffJitterAndBudget:
+    def test_backoff_without_jitter_is_exact_exponential(self, tmp_path):
+        runner = _make_runner(
+            tmp_path / "cache", retry_backoff=1.0, retry_jitter=0.0
+        )
+        assert [runner._backoff(n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_jitter_inflates_within_its_bound(self, tmp_path):
+        import random
+
+        from repro.experiments.runner import MAX_BACKOFF_SECONDS
+
+        runner = _make_runner(
+            tmp_path / "cache", retry_backoff=1.0, retry_jitter=0.5
+        )
+        runner._random = random.Random(7)
+        for attempt in (1, 2, 3):
+            base = 2 ** (attempt - 1)
+            observed = [runner._backoff(attempt) for _ in range(50)]
+            assert all(base <= pause <= 1.5 * base for pause in observed)
+            assert len(set(observed)) > 1  # actually randomized
+        # The cap is absolute, jitter included.
+        assert runner._backoff(30) == MAX_BACKOFF_SECONDS
+
+    def test_zero_base_backoff_stays_zero_with_jitter(self, tmp_path):
+        runner = _make_runner(tmp_path / "cache", retry_jitter=0.9)
+        assert runner._backoff(5) == 0.0
+
+    def test_budget_cuts_retries_short_in_serial(self, tmp_path):
+        # Backoff alone (10s for the first retry) would bust the 5s
+        # budget, so the spec fails terminally after one attempt even
+        # though max_attempts allows ten.
+        runner = _make_runner(
+            tmp_path / "cache",
+            max_attempts=10,
+            retry_backoff=10.0,
+            retry_jitter=0.0,
+            retry_budget=5.0,
+        )
+        (spec,) = _specs(runner, ["a"])
+        runner.fault_plan = faults.FaultPlan.for_specs(
+            {spec: faults.Fault("transient")}
+        )
+        runner.run_many([spec])
+        failure = runner.failures[spec]
+        assert failure.kind == "crash"
+        assert failure.attempts == 1
+
+    def test_budget_cuts_retries_short_in_pool(self, tmp_path):
+        runner = _make_runner(
+            tmp_path / "cache",
+            max_attempts=10,
+            retry_backoff=10.0,
+            retry_jitter=0.0,
+            retry_budget=5.0,
+        )
+        (spec,) = _specs(runner, ["a"])
+        runner.fault_plan = faults.FaultPlan.for_specs(
+            {spec: faults.Fault("crash")}
+        )
+        runner.run_many([spec], jobs=2)
+        failure = runner.failures[spec]
+        assert failure.kind == "crash"
+        assert failure.attempts == 1
+
+    def test_no_budget_keeps_retrying_to_max_attempts(self, tmp_path):
+        runner = _make_runner(
+            tmp_path / "cache", max_attempts=3, retry_backoff=10.0,
+            retry_jitter=0.0,
+        )
+        (spec,) = _specs(runner, ["a"])
+        runner.fault_plan = faults.FaultPlan.for_specs(
+            {spec: faults.Fault("transient")}
+        )
+        runner.run_many([spec])
+        assert runner.failures[spec].attempts == 3
+
+    def test_budget_permits_recovery_within_limit(self, tmp_path):
+        # Tiny backoffs inside a generous budget: the crash-twice spec
+        # still recovers on its third attempt.
+        runner = _make_runner(
+            tmp_path / "cache",
+            max_attempts=5,
+            retry_backoff=0.001,
+            retry_jitter=0.25,
+            retry_budget=60.0,
+        )
+        (spec,) = _specs(runner, ["a"])
+        runner.fault_plan = faults.FaultPlan.for_specs(
+            {spec: faults.Fault("transient", fail_attempts=2)}
+        )
+        results = runner.run_many([spec])
+        assert spec in results
+        assert not runner.failures
+
+
+# --------------------------------------------------------------------- #
+# Journal resume with a truncated final line (crash mid-write)
+# --------------------------------------------------------------------- #
+
+
+class TestJournalTruncation:
+    def _truncate_final_line(self, journal_path):
+        raw = journal_path.read_bytes()
+        assert raw.endswith(b"}\n")
+        journal_path.write_bytes(raw[:-7])  # chop mid-record, no newline
+
+    def test_truncated_final_line_is_skipped_with_warning(
+        self, tmp_path, caplog
+    ):
+        cache = tmp_path / "cache"
+        runner = _make_runner(cache)
+        runner.run_many(_specs(runner, ["a", "b"]))
+        intact = runner.journal.read()
+        self._truncate_final_line(cache / JOURNAL_NAME)
+
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.runner"):
+            records = runner.journal.read()
+        assert records == intact[:-1]
+        assert any(
+            "skipping unparseable line" in record.message
+            for record in caplog.records
+        )
+
+    def test_resume_after_truncation_appends_cleanly(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = _make_runner(cache)
+        first.run_many(_specs(first, ["a"]))
+        self._truncate_final_line(cache / JOURNAL_NAME)
+
+        resumed = _make_runner(cache)
+        results = resumed.run_many(_specs(resumed, ["a", "b"]))
+        assert len(results) == 2
+        assert resumed.cache_hits == 1  # cache survived the torn journal
+        events = [record["event"] for record in resumed.journal.read()]
+        # Old intact records, then the new sweep's, all parseable again.
+        assert events.count("sweep") == 2
+        assert events[-1] in ("done", "profile")

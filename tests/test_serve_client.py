@@ -1,0 +1,212 @@
+"""Tests of the serve client's retry discipline.
+
+The transport is stubbed (scripted ``(status, headers, body)`` responses
+or raised socket errors), so every schedule decision — what gets
+retried, how long each backoff pause is, how ``Retry-After`` and the
+deadline interact — is asserted deterministically, with no real sockets
+or clocks.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    DeadlineExceededError,
+    ProtocolError,
+    RemoteRunFailedError,
+    ServerOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.experiments.spec import RunSpec
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+
+
+SPEC = RunSpec.solo("ncf")
+
+
+def _ok_payload(spec=SPEC):
+    resolved = spec.resolve()
+    body = json.dumps(
+        {"descriptor": resolved.descriptor(), "results": [{"cycles": 1}]}
+    ).encode()
+    headers = {
+        protocol.KEY_HEADER: resolved.cache_key(),
+        protocol.SOURCE_HEADER: "cold",
+    }
+    return 200, headers, body
+
+
+def _error(code, message="nope", **extra):
+    return (
+        protocol.error_status(code),
+        {},
+        protocol.encode_error(code, message, **extra),
+    )
+
+
+class FakeRng:
+    """random() always returns 1.0: jitter lands on its upper bound."""
+
+    def random(self):
+        return 1.0
+
+
+class StubClient(ServeClient):
+    """A ServeClient whose transport replays a scripted response list."""
+
+    def __init__(self, responses, **kwargs):
+        kwargs.setdefault("backoff_seconds", 1.0)
+        kwargs.setdefault("jitter", 0.0)
+        kwargs.setdefault("rng", FakeRng())
+        self.sleeps = []
+        self.now = 0.0
+
+        def fake_sleep(seconds):
+            self.sleeps.append(seconds)
+            self.now += seconds
+
+        super().__init__(
+            "http://127.0.0.1:1",
+            sleep=fake_sleep,
+            clock=lambda: self.now,
+            **kwargs,
+        )
+        self._responses = list(responses)
+        self.requests = 0
+
+    def _request(self, method, path, body=None, *, timeout):
+        self.requests += 1
+        if not self._responses:
+            raise AssertionError("stub ran out of scripted responses")
+        response = self._responses.pop(0)
+        if isinstance(response, Exception):
+            raise response
+        status, headers, raw = response
+        return status, {k.title(): v for k, v in headers.items()}, raw
+
+
+class TestRetrySchedule:
+    def test_sheds_then_succeeds_with_exponential_backoff(self):
+        client = StubClient(
+            [_error("overloaded"), _error("overloaded"), _ok_payload()]
+        )
+        result = client.run(SPEC)
+        assert result.attempts == 3
+        assert result.source == "cold"
+        assert result.key == SPEC.resolve().cache_key()
+        assert client.sleeps == [1.0, 2.0]  # base * 2**(attempt-1)
+
+    def test_retry_after_is_a_floor_on_the_pause(self):
+        client = StubClient(
+            [_error("overloaded", retry_after=7.5), _ok_payload()]
+        )
+        client.run(SPEC)
+        assert client.sleeps == [7.5]
+
+    def test_jitter_inflates_up_to_its_bound(self):
+        client = StubClient(
+            [_error("unavailable"), _ok_payload()], jitter=0.5
+        )
+        client.run(SPEC)
+        assert client.sleeps == [pytest.approx(1.5)]  # 1.0 * (1 + 0.5*1.0)
+
+    def test_backoff_is_capped(self):
+        client = StubClient(
+            [_error("overloaded")] * 6 + [_ok_payload()],
+            backoff_cap_seconds=4.0,
+            deadline_seconds=None,
+        )
+        client.run(SPEC)
+        assert client.sleeps == [1.0, 2.0, 4.0, 4.0, 4.0, 4.0]
+
+    def test_transport_faults_are_retried(self):
+        client = StubClient([ConnectionRefusedError("down"), _ok_payload()])
+        result = client.run(SPEC)
+        assert result.attempts == 2
+
+    def test_exhausted_attempts_raise_the_last_shed_error(self):
+        client = StubClient(
+            [_error("overloaded")] * 3,
+            max_attempts=3,
+            deadline_seconds=None,
+        )
+        with pytest.raises(ServerOverloadedError):
+            client.run(SPEC)
+        assert client.requests == 3
+
+
+class TestNonRetriable:
+    def test_protocol_error_raises_immediately(self):
+        client = StubClient([_error("protocol", "bad spec")])
+        with pytest.raises(ProtocolError, match="bad spec"):
+            client.run(SPEC)
+        assert client.requests == 1
+
+    def test_run_failed_raises_immediately_with_details(self):
+        client = StubClient(
+            [_error("run-failed", "sim died", kind="stall", attempts=2)]
+        )
+        with pytest.raises(RemoteRunFailedError) as excinfo:
+            client.run(SPEC)
+        assert excinfo.value.kind == "stall"
+        assert excinfo.value.attempts == 2
+        assert client.requests == 1
+
+    def test_unparseable_success_payload_is_a_protocol_error(self):
+        client = StubClient([(200, {}, b"gibberish")])
+        with pytest.raises(ProtocolError, match="unparseable"):
+            client.run(SPEC)
+
+
+class TestDeadline:
+    def test_deadline_bounds_the_retry_loop(self):
+        # Each shed costs a 1s/2s/4s... pause; a 5s budget admits the
+        # pauses summing past it to be clipped, then expires.
+        client = StubClient(
+            [_error("overloaded")] * 10,
+            deadline_seconds=5.0,
+            max_attempts=10,
+        )
+        with pytest.raises(DeadlineExceededError):
+            client.run(SPEC)
+        assert client.now <= 5.0  # pauses were clipped to the budget
+
+    def test_deadline_rides_to_the_server(self):
+        captured = {}
+
+        class Capturing(StubClient):
+            def _request(self, method, path, body=None, *, timeout):
+                if body is not None:
+                    captured["deadline"] = json.loads(body).get(
+                        "deadline_seconds"
+                    )
+                return super()._request(method, path, body, timeout=timeout)
+
+        client = Capturing([_ok_payload()], deadline_seconds=30.0)
+        client.run(SPEC)
+        assert captured["deadline"] == pytest.approx(30.0)
+
+    def test_server_side_deadline_is_retried_within_budget(self):
+        # A 504 with client budget remaining means "queued too long" —
+        # the rerun is idempotent and likely a cache hit by then.
+        client = StubClient(
+            [_error("deadline"), _ok_payload()], deadline_seconds=100.0
+        )
+        result = client.run(SPEC)
+        assert result.attempts == 2
+
+    def test_expired_budget_raises_without_another_request(self):
+        client = StubClient([_error("overloaded")], deadline_seconds=0.5)
+        with pytest.raises(DeadlineExceededError):
+            client.run(SPEC)
+        assert client.requests == 1  # the retry was never sent
+
+
+class TestConstruction:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            ServeClient("ftp://example:1")
+        with pytest.raises(ValueError):
+            ServeClient("localhost:8080")
