@@ -46,7 +46,9 @@ def test_ablation_walk_priority(benchmark):
             [fifo / pri for pri, fifo in zip(values["priority"], values["fifo"])]
         )
         gains.append(gain)
-        rows.append(("+".join(mix), *values["fifo"], *values["priority"], round(gain, 3)))
+        rows.append(
+            ("+".join(mix), *values["fifo"], *values["priority"], round(gain, 3))
+        )
     emit(format_table(
         ["mix", "fifo c0", "fifo c1", "prio c0", "prio c1", "speedup"],
         rows,

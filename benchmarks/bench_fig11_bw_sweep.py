@@ -16,7 +16,8 @@ def test_fig11_bandwidth_sweep(benchmark, runner):
         rows.append((name, *(round(series[count], 2) for count in counts)))
     emit(format_table(
         ["workload"] + [f"{count}ch" for count in counts], rows,
-        title="\nFigure 11: speedup vs DRAM bandwidth (normalized to 1 channel = 32 GB/s-equivalent)",
+        title="\nFigure 11: speedup vs DRAM bandwidth "
+        "(normalized to 1 channel = 32 GB/s-equivalent)",
     ))
     for name in zoo.NAMES:
         series = [value for _, value in data["speedup"][name]]

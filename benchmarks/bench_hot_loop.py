@@ -45,7 +45,7 @@ from repro.compute import tracecache
 from repro.compute.requestgen import RequestGenerator
 from repro.core.simulator import MultiCoreNPUSim
 from repro.experiments.spec import RunSpec
-from repro.models import zoo
+from repro.models import serving, zoo
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_hotloop.json"
 MAX_TICKS = 50_000_000_000
@@ -67,12 +67,26 @@ SCENARIOS: dict[str, tuple[str, RunSpec]] = {
         "dlrm alone on one channel, translation off (streaming)",
         RunSpec.solo("dlrm", scale="mini", channels=1, translation=False),
     ),
+    # The LLM-serving regime: wide prefill GEMMs co-located with the
+    # decode phase's KV-cache streaming scans, fully shared resources —
+    # the unrolled schedule makes this the layer-count-heavy scenario.
+    "serving": (
+        "dual-core gpt2 prefill+decode co-location, fully shared (+DWT)",
+        RunSpec.mix(("gpt2:prefill", "gpt2:decode"), "DWT", scale="mini"),
+    ),
 }
+
+
+def _networks(spec: RunSpec) -> list:
+    """Serving-aware workload resolution (zoo names fall through)."""
+    return serving.networks_for(
+        spec.workloads, spec.scale, params=spec.serving, default_phase=spec.phase
+    )
 
 
 def measure(spec: RunSpec, repeats: int) -> dict:
     """Best-of-``repeats`` wall clock for one cold simulation of ``spec``."""
-    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    networks = _networks(spec)
     best_wall = None
     events = 0
     total_ticks = 0
@@ -122,7 +136,7 @@ def measure_replay_modes(repeats: int) -> dict[str, dict]:
 
     results: dict[str, dict] = {}
     for name, (description, spec) in SCENARIOS.items():
-        networks = [zoo.get(w, spec.scale) for w in spec.workloads]
+        networks = _networks(spec)
         modes: dict[str, dict] = {}
         for mode in REPLAY_MODES:
             mode_spec = dataclasses.replace(spec, replay_mode=mode)
@@ -325,6 +339,12 @@ def main(argv: list[str] | None = None) -> int:
         data = json.loads(args.out.read_text())
     if args.set_baseline or "baseline" not in data:
         data["baseline"] = current
+    else:
+        # A scenario added after the baseline was recorded self-baselines
+        # on its first run, so its speedup series starts at 1.0 instead
+        # of staying absent forever.
+        for name, result in current.items():
+            data["baseline"].setdefault(name, result)
     data["current"] = current
     data["sweep"] = sweep
     data["replay_modes"] = replay_modes

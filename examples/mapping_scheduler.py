@@ -44,8 +44,11 @@ def main() -> None:
     print(f"workload set : {'+'.join(args.workloads)}")
     print(f"pairings     : {outcome['pairings']} distinct\n")
     for policy in ("oracle", "model", "random", "worst"):
-        print(f"{policy:7s} geomean speedup vs Ideal: {outcome[f'{policy}_perf']:.3f}   "
-              f"fairness: {outcome[f'{policy}_fairness']:.3f}")
+        print(
+            f"{policy:7s} geomean speedup vs Ideal: "
+            f"{outcome[f'{policy}_perf']:.3f}   "
+            f"fairness: {outcome[f'{policy}_fairness']:.3f}"
+        )
 
     print("\nmodel-selected placement:")
     for chip, (a, b) in enumerate(outcome["model_pairing"]):

@@ -49,7 +49,13 @@ from repro.errors import SimulationStallError
 from repro.experiments.runner import DEFAULT_MAX_TICKS
 from repro.experiments.spec import RunSpec
 from repro.models import zoo
+from repro.models import serving as serving_models
+from repro.models.serving import ServingParams
 from repro.obs import format_profile, format_tree, human_bytes
+
+#: Workload names the mix-shaped subcommands accept: the benchmark zoo
+#: plus the qualified LLM-serving shapes (``gpt2:prefill``/``gpt2:decode``).
+WORKLOAD_CHOICES = (*zoo.NAMES, *serving_models.SERVING_NAMES)
 
 
 def _read_list_file(path: str) -> list[str]:
@@ -64,7 +70,9 @@ def _read_list_file(path: str) -> list[str]:
     return lines
 
 
-def _write_results(result: MixResult, system: SystemConfig, out_dir: Path, networks) -> None:
+def _write_results(
+    result: MixResult, system: SystemConfig, out_dir: Path, networks
+) -> None:
     """Write artifact-style per-core result files plus a JSON summary."""
     result_dir = out_dir / "result"
     result_dir.mkdir(parents=True, exist_ok=True)
@@ -127,7 +135,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         share_ptw=not args.static_ptw,
         share_tlb=not args.static_tlb,
     )
-    networks = [zoo.get(name, args.scale) for name in network_names]
+    networks = _serving_networks(
+        network_names, args.scale,
+        params=_serving_params(args), default_phase=args.phase,
+    )
     tracecache.configure(enabled=not args.no_trace_cache)
     sim = MultiCoreNPUSim(
         system,
@@ -161,7 +172,11 @@ def _run_sim(sim: MultiCoreNPUSim, max_ticks: int) -> MixResult:
 
 def _cmd_mix(args: argparse.Namespace) -> int:
     names = args.workloads
-    sharing = SharingLevel[args.sharing.upper().lstrip("+")] if args.sharing else SharingLevel.DWT
+    sharing = (
+        SharingLevel[args.sharing.upper().lstrip("+")]
+        if args.sharing
+        else SharingLevel.DWT
+    )
     # The same frozen descriptor the experiment runner plans from, so CLI
     # mixes and cached figure sweeps simulate the identical system
     # (iterations=1, staggered launch — see presets.mix_system).
@@ -173,11 +188,15 @@ def _cmd_mix(args: argparse.Namespace) -> int:
             page_bytes=args.page_bytes,
             dataflow=args.dataflow,
             replay_mode=args.replay_mode,
+            phase=args.phase,
+            serving=_serving_params(args),
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
     system = spec.system()
-    networks = [zoo.get(name, args.scale) for name in names]
+    networks = _serving_networks(
+        names, args.scale, params=spec.serving, default_phase=spec.phase
+    )
     tracecache.configure(enabled=not args.no_trace_cache)
     sim = MultiCoreNPUSim(system, networks, stall_window_ticks=args.stall_window)
     result = _run_sim(sim, args.max_ticks)
@@ -265,17 +284,24 @@ def _figure_producers(runner, dual, quad):
         "fig6": lambda: figures.fig6_dual_fairness(runner, dual)["overall"],
         "fig7": lambda: figures.fig7_quad_fairness(runner, quad)["overall"],
         "fig8": lambda: figures.fig8_sensitivity(runner, dual)["range"],
-        "fig9": lambda: figures.fig9_bandwidth_partition_performance(runner, dual)["overall"],
-        "fig10": lambda: figures.fig10_bandwidth_partition_fairness(runner, dual)["overall"],
+        "fig9": lambda: figures.fig9_bandwidth_partition_performance(runner, dual)[
+            "overall"
+        ],
+        "fig10": lambda: figures.fig10_bandwidth_partition_fairness(runner, dual)[
+            "overall"
+        ],
         "fig11": lambda: {
             name: series[-1][1]
             for name, series in figures.fig11_bandwidth_sweep(runner)["speedup"].items()
             if series
         },
-        "fig13": lambda: figures.fig13_ptw_partition_performance(runner, dual)["overall"],
+        "fig13": lambda: figures.fig13_ptw_partition_performance(runner, dual)[
+            "overall"
+        ],
         "fig14": lambda: figures.fig14_ptw_partition_fairness(runner, dual)["overall"],
         "fig15": lambda: figures.fig15_pagesize_single(runner)["overall"],
         "dataflow_compare": lambda: figures.dataflow_compare(runner)["overall"],
+        "serving_colocation": lambda: figures.serving_colocation(runner)["overall"],
     }
 
 
@@ -291,6 +317,8 @@ def _make_runner(args: argparse.Namespace, *, profile: bool = False):
         progress=None if args.quiet else _print_progress,
         dataflow=args.dataflow,
         replay_mode=args.replay_mode,
+        phase=args.phase,
+        serving=_serving_params(args),
         run_timeout=args.run_timeout,
         trace_cache=not args.no_trace_cache,
         profile=profile,
@@ -305,7 +333,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     dual, quad = _figure_mixes(args)
     producers = _figure_producers(runner, dual, quad)
     if args.name not in producers:
-        raise SystemExit(f"unknown figure {args.name!r}; pick one of {sorted(producers)}")
+        raise SystemExit(
+            f"unknown figure {args.name!r}; pick one of {sorted(producers)}"
+        )
     data = _round4(producers[args.name]())
     _print_cache_summary(runner, args.quiet)
     print(format_mapping(f"{args.name} (scale={args.scale})", data))
@@ -417,8 +447,10 @@ def _cmd_models(args: argparse.Namespace) -> int:
 
 def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by the ``figure`` and ``sweep`` subcommands."""
-    parser.add_argument("--mixes", type=int, default=None,
-                        help="limit the workload-mix count (default: full dual, 60 quad)")
+    parser.add_argument(
+        "--mixes", type=int, default=None,
+        help="limit the workload-mix count (default: full dual, 60 quad)",
+    )
     parser.add_argument("--scale", default="mini", choices=("mini", "full"))
     parser.add_argument(
         "--dataflow", default="os", choices=registered_dataflows(),
@@ -443,6 +475,7 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
         "--run-timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock budget; overruns fail the spec, not the sweep",
     )
+    _add_serving_options(parser)
     _add_no_trace_cache_option(parser)
 
 
@@ -452,6 +485,102 @@ def _add_no_trace_cache_option(parser: argparse.ArgumentParser) -> None:
         help="disable the compiled-frontend trace cache (escape hatch: "
              "every run regenerates its request traces live)",
     )
+
+
+#: CLI flag -> ServingParams field.  A flag left at its ``None`` default
+#: means "use the ServingParams default"; when *every* flag is None the
+#: whole serving block is omitted so non-serving runs keep their exact
+#: legacy cache keys.
+_SERVING_FLAG_FIELDS = (
+    ("serving_batch", "batch"),
+    ("serving_prompt", "prompt"),
+    ("decode_steps", "decode_steps"),
+    ("experts", "experts"),
+    ("capacity_factor", "capacity_factor"),
+    ("moe_skew", "moe_skew"),
+    ("zipf_alpha", "zipf_alpha"),
+    ("arrival", "arrival"),
+    ("arrival_rate", "arrival_rate"),
+    ("serving_seed", "seed"),
+)
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    """LLM-serving knobs shared by run/mix/figure/sweep/stats/profile."""
+    group = parser.add_argument_group(
+        "LLM serving",
+        "shape gpt2:prefill / gpt2:decode workloads (see repro.models.serving); "
+        "--phase applies to bare 'gpt2' workload names",
+    )
+    group.add_argument(
+        "--phase", default=None, choices=serving_models.PHASES,
+        help="serving phase bare serving-base workloads resolve to",
+    )
+    group.add_argument(
+        "--serving-batch", type=int, default=None, metavar="N",
+        help="concurrent request slots (continuous batching width)",
+    )
+    group.add_argument(
+        "--serving-prompt", type=int, default=None, metavar="TOKENS",
+        help="prompt length per request",
+    )
+    group.add_argument(
+        "--decode-steps", type=int, default=None, metavar="N",
+        help="decode schedule horizon in steps",
+    )
+    group.add_argument(
+        "--experts", type=int, default=None, metavar="N",
+        help="MoE expert count per FFN block",
+    )
+    group.add_argument(
+        "--capacity-factor", type=float, default=None, metavar="F",
+        help="per-expert token capacity multiplier (>= 1.0)",
+    )
+    group.add_argument(
+        "--moe-skew", default=None, choices=serving_models.SKEWS,
+        help="token-to-expert routing distribution",
+    )
+    group.add_argument(
+        "--zipf-alpha", type=float, default=None, metavar="A",
+        help="skew exponent when --moe-skew=zipf",
+    )
+    group.add_argument(
+        "--arrival", default=None, choices=serving_models.ARRIVALS,
+        help="request-arrival model (poisson or closed-loop)",
+    )
+    group.add_argument(
+        "--arrival-rate", type=float, default=None, metavar="P",
+        help="per-step arrival probability for --arrival=poisson",
+    )
+    group.add_argument(
+        "--serving-seed", type=int, default=None, metavar="SEED",
+        help="seed for the arrival and routing trace streams",
+    )
+
+
+def _serving_params(args: argparse.Namespace) -> ServingParams | None:
+    """Build ServingParams from flags; None when no serving flag was given."""
+    overrides = {
+        field: getattr(args, flag)
+        for flag, field in _SERVING_FLAG_FIELDS
+        if getattr(args, flag, None) is not None
+    }
+    if not overrides:
+        return None
+    try:
+        return ServingParams(**overrides)
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _serving_networks(names, scale, *, params, default_phase):
+    """Resolve workload names serving-aware; exit cleanly on bad names."""
+    try:
+        return serving_models.networks_for(
+            names, scale, params=params, default_phase=default_phase
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error)) from error
 
 
 def _trace_shards_by_dataflow(store) -> dict[str, int]:
@@ -578,11 +707,18 @@ def _run_observed(args: argparse.Namespace):
     )
     try:
         spec = RunSpec.mix(
-            args.workloads, sharing, scale=args.scale, page_bytes=args.page_bytes
+            args.workloads,
+            sharing,
+            scale=args.scale,
+            page_bytes=args.page_bytes,
+            phase=args.phase,
+            serving=_serving_params(args),
         )
     except ValueError as error:
         raise SystemExit(str(error)) from error
-    networks = [zoo.get(name, args.scale) for name in args.workloads]
+    networks = _serving_networks(
+        args.workloads, args.scale, params=spec.serving, default_phase=spec.phase
+    )
     tracecache.configure(enabled=not args.no_trace_cache)
     sim = MultiCoreNPUSim(
         spec.system(),
@@ -652,7 +788,9 @@ def _cmd_profile_sweep(args: argparse.Namespace) -> int:
 
 def _add_observed_mix_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by ``stats`` and ``profile run`` (mix-shaped)."""
-    parser.add_argument("workloads", nargs="+", choices=zoo.NAMES, metavar="workload")
+    parser.add_argument(
+        "workloads", nargs="+", choices=WORKLOAD_CHOICES, metavar="workload"
+    )
     parser.add_argument("--sharing", default="DWT", help="D, DW or DWT")
     parser.add_argument("--scale", default="mini", choices=("mini", "full"))
     parser.add_argument("--page-bytes", type=int, default=4096)
@@ -669,6 +807,7 @@ def _add_observed_mix_options(parser: argparse.ArgumentParser) -> None:
         "--depth", type=int, default=None, metavar="N",
         help="truncate the counter tree below this depth",
     )
+    _add_serving_options(parser)
     _add_no_trace_cache_option(parser)
 
 
@@ -697,8 +836,12 @@ def main(argv: list[str] | None = None) -> int:
              "per-event baseline, batched = private-heap batching, auto "
              "= batched + analytic fast-forward; all byte-identical)",
     )
-    run.add_argument("--static-dram", action="store_true", help="partition channels statically")
-    run.add_argument("--static-ptw", action="store_true", help="partition walkers statically")
+    run.add_argument(
+        "--static-dram", action="store_true", help="partition channels statically"
+    )
+    run.add_argument(
+        "--static-ptw", action="store_true", help="partition walkers statically"
+    )
     run.add_argument("--static-tlb", action="store_true", help="keep per-core TLBs")
     run.add_argument(
         "--trace", action="store_true",
@@ -713,11 +856,14 @@ def main(argv: list[str] | None = None) -> int:
         help="livelock watchdog: abort when no core retires work for this "
              "many global ticks (0 disables)",
     )
+    _add_serving_options(run)
     _add_no_trace_cache_option(run)
     run.set_defaults(func=_cmd_run)
 
     mix = sub.add_parser("mix", help="co-run named benchmarks under a sharing level")
-    mix.add_argument("workloads", nargs="+", choices=zoo.NAMES, metavar="workload")
+    mix.add_argument(
+        "workloads", nargs="+", choices=WORKLOAD_CHOICES, metavar="workload"
+    )
     mix.add_argument("--sharing", default="DWT", help="D, DW or DWT")
     mix.add_argument("--scale", default="mini", choices=("mini", "full"))
     mix.add_argument("--page-bytes", type=int, default=4096)
@@ -740,6 +886,7 @@ def main(argv: list[str] | None = None) -> int:
         help="livelock watchdog: abort when no core retires work for this "
              "many global ticks (0 disables)",
     )
+    _add_serving_options(mix)
     _add_no_trace_cache_option(mix)
     mix.set_defaults(func=_cmd_mix)
 
@@ -750,7 +897,10 @@ def main(argv: list[str] | None = None) -> int:
     figure = sub.add_parser(
         "figure", help="regenerate one paper figure's headline numbers"
     )
-    figure.add_argument("name", help="fig4, fig5, ..., fig15 or dataflow_compare")
+    figure.add_argument(
+        "name",
+        help="fig4, fig5, ..., fig15, dataflow_compare or serving_colocation",
+    )
     _add_sweep_options(figure)
     figure.set_defaults(func=_cmd_figure)
 

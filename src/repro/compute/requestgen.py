@@ -223,7 +223,8 @@ class RequestGenerator:
             # A tile: rows m0..m0+tm, columns k0..k0+tk of an M x K matrix.
             reads.extend(
                 self._matrix_runs(
-                    layout.a_base, gemm.k, tile.m0, tile.tm, tile.k0, tile.tk, write=False
+                    layout.a_base, gemm.k,
+                    tile.m0, tile.tm, tile.k0, tile.tk, write=False,
                 )
             )
             # B tile: rows k0..k0+tk, columns n0..n0+tn of a K x N matrix
@@ -235,7 +236,8 @@ class RequestGenerator:
             else:
                 reads.extend(
                     self._matrix_runs(
-                        layout.b_base, gemm.n, tile.k0, tile.tk, tile.n0, tile.tn, write=False
+                        layout.b_base, gemm.n,
+                        tile.k0, tile.tk, tile.n0, tile.tn, write=False,
                     )
                 )
             writes: tuple[Run, ...] = ()
@@ -243,7 +245,8 @@ class RequestGenerator:
                 # C tile: rows m0..m0+tm, columns n0..n0+tn of an M x N matrix.
                 writes = tuple(
                     self._matrix_runs(
-                        layout.c_base, gemm.n, tile.m0, tile.tm, tile.n0, tile.tn, write=True
+                        layout.c_base, gemm.n,
+                        tile.m0, tile.tm, tile.n0, tile.tn, write=True,
                     )
                 )
             yield TileTraffic(
@@ -274,7 +277,9 @@ class RequestGenerator:
         elem = self._elem
         if ncols == row_len:
             # Full-width rows are contiguous in memory: one merged run.
-            yield self._byte_run(base + row0 * row_len * elem, nrows * row_len * elem, write)
+            yield self._byte_run(
+                base + row0 * row_len * elem, nrows * row_len * elem, write
+            )
             return
         for row in range(row0, row0 + nrows):
             start = base + (row * row_len + col0) * elem

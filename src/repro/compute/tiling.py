@@ -131,8 +131,14 @@ def _square_shape(
 ) -> TileShape:
     """Balanced near-cubic tile for GEMMs whose N is too wide to slab."""
     side = max(1, int(math.sqrt(budget / 3)))
-    tm = min(gemm.m, _align_down(side, arch.array_rows) if side >= arch.array_rows else side)
-    tn = min(gemm.n, _align_down(side, arch.array_cols) if side >= arch.array_cols else side)
+    tm = min(
+        gemm.m,
+        _align_down(side, arch.array_rows) if side >= arch.array_rows else side,
+    )
+    tn = min(
+        gemm.n,
+        _align_down(side, arch.array_cols) if side >= arch.array_cols else side,
+    )
     while True:
         tk = _aligned_k((budget - tm * tn) // (tm + tn), k_align)
         if tk >= 1:
@@ -173,4 +179,8 @@ def tiles_for_gemm(gemm: GemmOp, shape: TileShape) -> Iterator[Tile]:
 
 def tile_count(gemm: GemmOp, shape: TileShape) -> int:
     """Number of tiles ``tiles_for_gemm`` will yield."""
-    return (-(-gemm.m // shape.tm)) * (-(-gemm.n // shape.tn)) * (-(-gemm.k // shape.tk))
+    return (
+        (-(-gemm.m // shape.tm))
+        * (-(-gemm.n // shape.tn))
+        * (-(-gemm.k // shape.tk))
+    )

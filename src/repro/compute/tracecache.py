@@ -129,6 +129,14 @@ def frontend_fingerprint(network: Network, arch: ArchConfig) -> str:
     returned fingerprint (``os-<digest>``), so on-disk trace shards are
     attributable to their dataflow by filename alone (``mnpusim cache
     stats`` groups on this tag).
+
+    Serving frontends (networks named with the
+    :data:`repro.models.serving.NAME_PREFIX` ``srv-`` marker) carry that
+    marker between the engine tag and the digest (``os-srv-<digest>``),
+    so schedule-unrolled serving traces are identifiable on disk too.
+    The network *name* is deliberately not part of the hashed payload —
+    identical layer lists share a trace regardless of naming — so the
+    tag rides outside the digest.
     """
     engine = get_engine(arch.dataflow)
     layers = [
@@ -144,7 +152,8 @@ def frontend_fingerprint(network: Network, arch: ArchConfig) -> str:
     digest = _fingerprint_hash(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     )
-    return f"{engine.name}-{digest.hexdigest()[:32]}"
+    tag = "srv-" if network.name.startswith("srv-") else ""
+    return f"{engine.name}-{tag}{digest.hexdigest()[:32]}"
 
 
 @dataclass(frozen=True, eq=False)
@@ -298,7 +307,9 @@ def encode_trace(trace: CompiledTrace) -> bytes:
     return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
 
 
-def decode_trace(raw: bytes, fingerprint: str) -> tuple[CompiledTrace | None, str | None]:
+def decode_trace(
+    raw: bytes, fingerprint: str
+) -> tuple[CompiledTrace | None, str | None]:
     """``(trace, None)`` when the shard is sound, else ``(None, reason)``.
 
     Matches the :meth:`repro.storage.ShardStore.read_validated` contract,

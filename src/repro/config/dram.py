@@ -68,7 +68,8 @@ class AddressMapping:
     def __post_init__(self) -> None:
         if sorted(self.order) != sorted(_MAP_FIELDS):
             raise ValueError(
-                f"address mapping must be a permutation of {_MAP_FIELDS}, got {self.order}"
+                "address mapping must be a permutation of "
+                f"{_MAP_FIELDS}, got {self.order}"
             )
 
 
@@ -138,7 +139,10 @@ class DramConfig:
     @property
     def capacity_bytes(self) -> int:
         """Total addressable capacity across all channels."""
-        return self.channels * self.banks_per_channel * self.rows_per_bank * self.row_bytes
+        return (
+            self.channels * self.banks_per_channel
+            * self.rows_per_bank * self.row_bytes
+        )
 
     def peak_bandwidth_bytes_per_sec(self) -> float:
         """Aggregate peak bandwidth of all channels."""

@@ -61,7 +61,9 @@ def _coerce(value: str, annotation: Any) -> Any:
     raise ValueError(f"unsupported config field type {annotation!r}")
 
 
-def _build(cls: type, pairs: dict[str, str], *, nested: dict[str, Any] | None = None) -> Any:
+def _build(
+    cls: type, pairs: dict[str, str], *, nested: dict[str, Any] | None = None
+) -> Any:
     """Instantiate dataclass ``cls`` from string pairs, type-coercing values."""
     fields = {f.name: f for f in dataclasses.fields(cls)}
     kwargs: dict[str, Any] = dict(nested or {})

@@ -67,7 +67,9 @@ class SystemConfig:
             self._validate_channel_assignment(assignment)
         if not self.share_ptw:
             total = sum(cfg.num_ptw for cfg in self.npumem)
-            assignment = self.ptw_assignment or tuple(cfg.num_ptw for cfg in self.npumem)
+            assignment = self.ptw_assignment or tuple(
+                cfg.num_ptw for cfg in self.npumem
+            )
             object.__setattr__(self, "ptw_assignment", assignment)
             if len(assignment) != len(self.arch):
                 raise ValueError("one PTW count per core required")
@@ -75,7 +77,8 @@ class SystemConfig:
                 raise ValueError("each core needs at least one walker")
             if sum(assignment) > total:
                 raise ValueError(
-                    f"PTW assignment {assignment} exceeds the {total} walkers the system has"
+                    f"PTW assignment {assignment} exceeds the {total} "
+                    "walkers the system has"
                 )
 
     def _validate_channel_assignment(

@@ -43,7 +43,9 @@ class DmaStats:
 class _Transfer:
     __slots__ = ("txns", "issued_all", "outstanding", "on_complete", "complete")
 
-    def __init__(self, txns: Iterator[tuple[int, bool]], on_complete: Callable[[], None]):
+    def __init__(
+        self, txns: Iterator[tuple[int, bool]], on_complete: Callable[[], None]
+    ):
         self.txns = txns
         self.issued_all = False
         self.outstanding = 0

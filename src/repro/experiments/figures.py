@@ -54,6 +54,7 @@ from repro.experiments.mixes import all_mixes, mix_label
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import RunSpec
 from repro.models import zoo
+from repro.models.serving import ServingParams
 
 #: DRAM-bandwidth ratio splits of section 4.3 (eight channels, dual-core).
 BW_SPLITS = ((1, 7), (2, 6), (4, 4), (6, 2), (7, 1))
@@ -93,7 +94,9 @@ def _failure_summaries(runner: ExperimentRunner) -> list[dict[str, Any]]:
     ]
 
 
-def _attach_failures(result: dict[str, Any], runner: ExperimentRunner) -> dict[str, Any]:
+def _attach_failures(
+    result: dict[str, Any], runner: ExperimentRunner
+) -> dict[str, Any]:
     """Append the failure summary to a reducer's output when non-empty.
 
     Keeps fully-successful outputs byte-identical to the pre-degradation
@@ -1072,6 +1075,132 @@ def dataflow_compare(
 
 
 # --------------------------------------------------------------------- #
+# LLM-serving co-location (prefill/decode phases x MoE skew x sharing)
+# --------------------------------------------------------------------- #
+
+
+#: The serving phases as runnable workload names.
+SERVING_PHASE_NAMES = ("gpt2:prefill", "gpt2:decode")
+
+#: Co-location pairs of the serving study: phase-homogeneous and mixed.
+SERVING_PAIRS = (
+    ("gpt2:prefill", "gpt2:prefill"),
+    ("gpt2:prefill", "gpt2:decode"),
+    ("gpt2:decode", "gpt2:decode"),
+)
+
+#: The shared-vs-private-TLB axis: +DW keeps TLBs private, +DWT shares.
+SERVING_SHARINGS = (SharingLevel.DW, SharingLevel.DWT)
+
+#: MoE routing skews swept by the serving figure.
+SERVING_SKEWS = ("uniform", "zipf")
+
+
+def serving_colocation_specs(
+    runner: ExperimentRunner,
+    skews: Sequence[str] = SERVING_SKEWS,
+) -> list[RunSpec]:
+    """Every spec behind the serving co-location figure.
+
+    Per MoE skew: a dual-pool Ideal solo of each phase (the speedup
+    baseline) plus every phase pair under +DW (private TLBs) and +DWT
+    (shared TLB) — 8 specs per skew.  Uniform skew normalizes to the
+    default :class:`ServingParams`, so its specs share cache keys with
+    any other default-parameter serving run.
+    """
+    specs = []
+    for skew in skews:
+        params = ServingParams(moe_skew=skew)
+        for name in SERVING_PHASE_NAMES:
+            specs.append(runner.plan_ideal(name, 2, serving=params))
+        for pair in SERVING_PAIRS:
+            for level in SERVING_SHARINGS:
+                specs.append(runner.plan_mix(pair, level, serving=params))
+    return specs
+
+
+def _pair_label(pair: Sequence[str]) -> str:
+    return "+".join(name.split(":", 1)[1] for name in pair)
+
+
+def serving_colocation(
+    runner: ExperimentRunner,
+    skews: Sequence[str] = SERVING_SKEWS,
+) -> dict[str, Any]:
+    """Does sharing the TLB (+DWT over +DW) help or hurt serving mixes?
+
+    The question the paper's DNN study never reaches: with co-runners
+    that are prefill (GEMM-bursty), decode (KV-cache streaming) or
+    Zipf-skewed MoE, per-scenario geomean speedups vs the dual-pool
+    Ideal are reported for private TLBs (+DW) and the shared TLB
+    (+DWT); ``dwt_gain`` is their ratio (>1: sharing helps).
+    """
+    runner.run_many(serving_colocation_specs(runner, skews))
+    per_scenario: dict[str, dict[str, Any]] = {}
+    level_values: dict[str, list[float]] = {
+        level.label: [] for level in SERVING_SHARINGS
+    }
+    dwt_gains: list[float] = []
+    for skew in skews:
+        params = ServingParams(moe_skew=skew)
+        ideal: dict[str, int] = {}
+        for name in SERVING_PHASE_NAMES:
+            result = _maybe(
+                lambda n=name, p=params: runner.run(
+                    runner.plan_ideal(n, 2, serving=p)
+                )
+            )
+            if result is not None:
+                ideal[name] = result[0]["cycles"]
+        for pair in SERVING_PAIRS:
+            label = f"{skew}/{_pair_label(pair)}"
+            entry: dict[str, Any] = {}
+            for level in SERVING_SHARINGS:
+                if any(name not in ideal for name in pair):
+                    continue
+                results = _maybe(
+                    lambda pr=pair, lv=level, p=params: runner.run(
+                        runner.plan_mix(pr, lv, serving=p)
+                    )
+                )
+                if results is None:
+                    continue
+                entry[level.label] = geomean(
+                    [
+                        ideal[name] / result["cycles"]
+                        for name, result in zip(pair, results)
+                    ]
+                )
+                level_values[level.label].append(entry[level.label])
+            if "+DW" in entry and "+DWT" in entry:
+                entry["dwt_gain"] = entry["+DWT"] / entry["+DW"]
+                entry["verdict"] = (
+                    "helps" if entry["dwt_gain"] >= 1.0 else "hurts"
+                )
+                dwt_gains.append(entry["dwt_gain"])
+            per_scenario[label] = entry
+    overall: dict[str, Any] = {
+        level.label: _safe_geomean(level_values[level.label])
+        for level in SERVING_SHARINGS
+    }
+    overall["dwt_gain"] = _safe_geomean(dwt_gains)
+    if overall["dwt_gain"] is not None:
+        overall["verdict"] = (
+            "helps" if overall["dwt_gain"] >= 1.0 else "hurts"
+        )
+    return _attach_failures(
+        {
+            "skews": list(skews),
+            "pairs": [_pair_label(pair) for pair in SERVING_PAIRS],
+            "sharings": [level.label for level in SERVING_SHARINGS],
+            "per_scenario": per_scenario,
+            "overall": overall,
+        },
+        runner,
+    )
+
+
+# --------------------------------------------------------------------- #
 # Planner registry
 # --------------------------------------------------------------------- #
 
@@ -1112,6 +1241,10 @@ def _plan_dataflow(runner, dual, quad):
     return dataflow_compare_specs(runner)
 
 
+def _plan_serving(runner, dual, quad):
+    return serving_colocation_specs(runner)
+
+
 #: ``figure name -> planner(runner, dual_mixes, quad_mixes) -> [RunSpec]``.
 #: Figures 2 and 12 trace bandwidth inside one ad-hoc simulation and have
 #: no cacheable spec set; figures 17/18 live in :mod:`repro.mapping`.
@@ -1129,4 +1262,5 @@ FIGURE_PLANNERS = {
     "fig15": _plan_fig15,
     "fig16": _plan_fig16,
     "dataflow_compare": _plan_dataflow,
+    "serving_colocation": _plan_serving,
 }

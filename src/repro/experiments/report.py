@@ -14,7 +14,9 @@ def format_table(
     """Render an aligned ASCII table."""
     cells = [[_fmt(value) for value in row] for row in rows]
     widths = [
-        max(len(str(header)), *(len(row[col]) for row in cells)) if cells else len(str(header))
+        max(len(str(header)), *(len(row[col]) for row in cells))
+        if cells
+        else len(str(header))
         for col, header in enumerate(headers)
     ]
     lines = []

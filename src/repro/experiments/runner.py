@@ -98,7 +98,9 @@ from repro.experiments.spec import (
     RESULTS_VERSION,
     RunSpec,
 )
+from repro.models import serving as serving_module
 from repro.models import zoo
+from repro.models.serving import ServingParams
 
 __all__ = [
     "DEFAULT_MAX_TICKS",
@@ -367,6 +369,8 @@ class ExperimentRunner:
         *,
         dataflow: str = DEFAULT_DATAFLOW,
         replay_mode: str = DEFAULT_REPLAY_MODE,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
         run_timeout: float | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
@@ -412,6 +416,11 @@ class ExperimentRunner:
         self.scale = scale
         self.dataflow = dataflow
         self.replay_mode = replay_mode
+        #: Default serving axes the ``plan_*`` helpers thread into specs
+        #: (``--phase`` and the serving knobs of the CLI); per-spec
+        #: values still override them, mirroring ``dataflow``.
+        self.phase = phase
+        self.serving = serving
         self.max_ticks = max_ticks
         self.jobs = max(1, jobs)
         self.progress = progress
@@ -473,6 +482,29 @@ class ExperimentRunner:
         if name in self._networks:
             return self._networks[name]
         return zoo.get(name, self.scale)
+
+    def _network_for(self, spec: RunSpec, name: str) -> Any:
+        """Resolve one of ``spec``'s workloads to its topology.
+
+        Registered networks shadow everything (as before); serving
+        names (``gpt2:prefill``, or a bare base under ``spec.phase``)
+        build their schedule-unrolled networks from the spec's serving
+        parameters; everything else falls back to the zoo.
+        """
+        if name in self._networks:
+            return self._networks[name]
+        network = serving_module.resolve(
+            name,
+            spec.scale,
+            params=spec.serving,
+            default_phase=spec.phase,
+        )
+        if network is not None:
+            return network
+        return zoo.get(name, self.scale)
+
+    def _networks_for(self, spec: RunSpec) -> list[Any]:
+        return [self._network_for(spec, name) for name in spec.workloads]
 
     # ------------------------------------------------------------------ #
     # Pool lifecycle (persistent under ``keep_pool=True``)
@@ -543,6 +575,38 @@ class ExperimentRunner:
             )
         return spec
 
+    def _plan_serving(
+        self,
+        workloads: Sequence[str],
+        phase: str | None,
+        serving: ServingParams | None,
+    ) -> tuple[str | None, ServingParams | None]:
+        """Runner-default serving axes, applied only where they can bind.
+
+        ``--phase`` / serving knobs set runner-wide defaults, but most
+        planned specs in a sweep run plain zoo workloads; pushing the
+        defaults onto those would be rejected by :class:`RunSpec`
+        validation (a phase with no serving workload is a silent no-op
+        and therefore an error).  So the defaults bind exactly when the
+        workload list can use them, and stay off otherwise.
+        """
+        bare_base = any(
+            name in serving_module.SERVING_BASES for name in workloads
+        )
+        qualified = any(
+            serving_module.split_name(name)[1] is not None
+            for name in workloads
+        )
+        if phase is None and self.phase is not None and bare_base:
+            phase = self.phase
+        if (
+            serving is None
+            and self.serving is not None
+            and (qualified or (phase is not None and bare_base))
+        ):
+            serving = self.serving
+        return phase, serving
+
     def plan_solo(
         self,
         workload: str,
@@ -554,8 +618,11 @@ class ExperimentRunner:
         translation: bool = True,
         dataflow: str | None = None,
         replay_mode: str | None = None,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> RunSpec:
         """Spec for one workload alone on an explicit resource slice."""
+        phase, serving = self._plan_serving((workload,), phase, serving)
         return RunSpec.solo(
             workload,
             scale=self.scale,
@@ -567,6 +634,8 @@ class ExperimentRunner:
             dataflow=dataflow if dataflow is not None else self.dataflow,
             replay_mode=replay_mode if replay_mode is not None
             else self.replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     def plan_ideal(
@@ -578,8 +647,11 @@ class ExperimentRunner:
         translation: bool = True,
         dataflow: str | None = None,
         replay_mode: str | None = None,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> RunSpec:
         """Spec for the Ideal baseline: the whole N-core resource pool."""
+        phase, serving = self._plan_serving((workload,), phase, serving)
         return RunSpec.ideal(
             workload,
             num_cores,
@@ -589,6 +661,8 @@ class ExperimentRunner:
             dataflow=dataflow if dataflow is not None else self.dataflow,
             replay_mode=replay_mode if replay_mode is not None
             else self.replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     def plan_static_equal(
@@ -599,6 +673,8 @@ class ExperimentRunner:
         translation: bool = True,
         dataflow: str | None = None,
         replay_mode: str | None = None,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> RunSpec:
         """Spec for the equal Static split: one per-core resource share."""
         return self.plan_solo(
@@ -607,6 +683,8 @@ class ExperimentRunner:
             translation=translation,
             dataflow=dataflow,
             replay_mode=replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     def plan_mix(
@@ -621,8 +699,11 @@ class ExperimentRunner:
         tlb_entries_per_core: int | None = None,
         dataflow: str | None = None,
         replay_mode: str | None = None,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> RunSpec:
         """Spec for a co-simulation under a dynamic sharing level."""
+        phase, serving = self._plan_serving(names, phase, serving)
         return RunSpec.mix(
             names,
             sharing,
@@ -635,6 +716,8 @@ class ExperimentRunner:
             dataflow=dataflow if dataflow is not None else self.dataflow,
             replay_mode=replay_mode if replay_mode is not None
             else self.replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     # ------------------------------------------------------------------ #
@@ -778,7 +861,7 @@ class ExperimentRunner:
         seen: set[str] = set()
         for spec in cold:
             for name, arch in spec.frontends():
-                network = self._network(name)
+                network = self._network_for(spec, name)
                 fingerprint = tracecache.frontend_fingerprint(network, arch)
                 if fingerprint in seen:
                     continue
@@ -855,7 +938,7 @@ class ExperimentRunner:
         """
         if run_timeout is _UNSET:
             run_timeout = self.run_timeout
-        networks = [self._network(name) for name in spec.workloads]
+        networks = self._networks_for(spec)
         attempt = 1
         started = time.monotonic()
         while True:
@@ -1141,7 +1224,7 @@ class ExperimentRunner:
                 future = pool.submit(
                     _supervised_execute,
                     spec,
-                    tuple(self._network(name) for name in spec.workloads),
+                    tuple(self._networks_for(spec)),
                     self.max_ticks,
                     stall_window=self.stall_window_ticks,
                     timeout=run_timeout,

@@ -37,6 +37,8 @@ from repro.config.misc import MiscConfig
 from repro.config.system import SystemConfig
 from repro.core.replay import DEFAULT_REPLAY_MODE, REPLAY_MODES
 from repro.core.sharing import SharingLevel
+from repro.models import serving as serving_module
+from repro.models.serving import ServingParams
 
 #: Bump to invalidate cached results when simulator semantics change.
 RESULTS_VERSION = 10
@@ -77,6 +79,8 @@ class RunSpec:
     tlb_entries_per_core: int | None = None
     dataflow: str = DEFAULT_DATAFLOW
     replay_mode: str = DEFAULT_REPLAY_MODE
+    phase: str | None = None
+    serving: ServingParams | None = None
     version: int = RESULTS_VERSION
 
     def __post_init__(self) -> None:
@@ -93,6 +97,49 @@ class RunSpec:
         object.__setattr__(self, "workloads", tuple(self.workloads))
         if self.ptw_split is not None:
             object.__setattr__(self, "ptw_split", tuple(self.ptw_split))
+        # A ServingParams at all-defaults describes the same run as no
+        # override at all; normalize it to None so spec equality, batch
+        # dedup and the cache key all see a single canonical spec.
+        if self.serving is not None and self.serving == ServingParams():
+            object.__setattr__(self, "serving", None)
+        bare_bases = 0
+        serving_targets = 0
+        for name in self.workloads:
+            base, wl_phase = serving_module.split_name(name)
+            if wl_phase is not None:
+                if base not in serving_module.SERVING_BASES:
+                    raise ValueError(
+                        f"workload {name!r}: {base!r} has no serving "
+                        "frontend; serving bases: "
+                        + ", ".join(sorted(serving_module.SERVING_BASES))
+                    )
+                if wl_phase not in serving_module.PHASES:
+                    raise ValueError(
+                        f"workload {name!r}: unknown phase {wl_phase!r}; "
+                        "choose from " + ", ".join(serving_module.PHASES)
+                    )
+                serving_targets += 1
+            elif base in serving_module.SERVING_BASES:
+                bare_bases += 1
+        if self.phase is not None:
+            if self.phase not in serving_module.PHASES:
+                raise ValueError(
+                    f"unknown phase {self.phase!r}; choose from "
+                    + ", ".join(serving_module.PHASES)
+                )
+            if not bare_bases:
+                raise ValueError(
+                    "phase only applies to bare serving-base workloads "
+                    f"(e.g. 'gpt2'); none in {self.workloads!r} — either "
+                    "drop 'phase' or phase-qualify the names directly"
+                )
+            serving_targets += bare_bases
+        if self.serving is not None and not serving_targets:
+            raise ValueError(
+                "serving parameters need a serving workload (a "
+                "phase-qualified name like 'gpt2:prefill', or a bare "
+                f"serving base plus 'phase'); got {self.workloads!r}"
+            )
         if self.kind not in ("solo", "mix"):
             raise ValueError(f"kind must be 'solo' or 'mix', got {self.kind!r}")
         if not self.workloads:
@@ -142,6 +189,8 @@ class RunSpec:
         translation: bool = True,
         dataflow: str = DEFAULT_DATAFLOW,
         replay_mode: str = DEFAULT_REPLAY_MODE,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> "RunSpec":
         """One workload alone on a resource slice (defaults: one per-core
         Table 2 share, i.e. the equal Static split)."""
@@ -156,6 +205,8 @@ class RunSpec:
             translation=translation,
             dataflow=dataflow,
             replay_mode=replay_mode,
+            phase=phase,
+            serving=serving,
         ).resolve()
 
     @classmethod
@@ -169,6 +220,8 @@ class RunSpec:
         translation: bool = True,
         dataflow: str = DEFAULT_DATAFLOW,
         replay_mode: str = DEFAULT_REPLAY_MODE,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> "RunSpec":
         """The Ideal baseline: alone with the whole N-core resource pool."""
         per_core = presets.per_core_resources(scale)
@@ -182,6 +235,8 @@ class RunSpec:
             translation=translation,
             dataflow=dataflow,
             replay_mode=replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     @classmethod
@@ -198,6 +253,8 @@ class RunSpec:
         tlb_entries_per_core: int | None = None,
         dataflow: str = DEFAULT_DATAFLOW,
         replay_mode: str = DEFAULT_REPLAY_MODE,
+        phase: str | None = None,
+        serving: ServingParams | None = None,
     ) -> "RunSpec":
         """A co-simulation of ``workloads`` under a dynamic sharing level."""
         if isinstance(sharing, SharingLevel):
@@ -214,6 +271,8 @@ class RunSpec:
             tlb_entries_per_core=tlb_entries_per_core,
             dataflow=dataflow,
             replay_mode=replay_mode,
+            phase=phase,
+            serving=serving,
         )
 
     # ------------------------------------------------------------------ #
@@ -246,6 +305,10 @@ class RunSpec:
             label += f" df={self.dataflow}"
         if self.replay_mode != DEFAULT_REPLAY_MODE:
             label += f" rm={self.replay_mode}"
+        if self.phase is not None:
+            label += f" ph={self.phase}"
+        if self.serving is not None:
+            label += f" srv[{self.serving.tag()}]"
         return label
 
     def resolve(self) -> "RunSpec":
@@ -306,6 +369,15 @@ class RunSpec:
             # (Results are proven byte-identical across modes, but a
             # shard must record how it was produced to stay auditable.)
             descriptor["replay_mode"] = self.replay_mode
+        if self.phase is not None:
+            # Serving axes follow the same omission rule: every
+            # descriptor written before the serving frontend existed —
+            # and every non-serving descriptor written after — stays
+            # byte-identical, so the pre-existing golden cache keys pin
+            # this exactly.
+            descriptor["phase"] = self.phase
+        if self.serving is not None:
+            descriptor["serving"] = self.serving.descriptor()
         return descriptor
 
     def cache_key(self) -> str:

@@ -77,9 +77,13 @@ class Mmu:
                 self._tlbs[core] = shared
         else:
             for core, cfg in self.cfg.items():
-                self._tlbs[core] = Tlb(cfg.tlb_entries, cfg.tlb_assoc, name=f"tlb{core}")
+                self._tlbs[core] = Tlb(
+                    cfg.tlb_entries, cfg.tlb_assoc, name=f"tlb{core}"
+                )
         # (core, vpn) -> callbacks waiting on the in-flight walk.
-        self._pending: dict[tuple[int, int], list[tuple[int, Callable[[int], None]]]] = {}
+        self._pending: dict[
+            tuple[int, int], list[tuple[int, Callable[[int], None]]]
+        ] = {}
         # Per-core hot-path record: one dict lookup in ``probe`` instead
         # of four, with the TLB's set list, set count, and stats pulled
         # out so the lookup runs without a method call.  The set list and

@@ -1,4 +1,4 @@
-"""DNN workload models: layer specs, the paper's benchmark zoo, random nets."""
+"""DNN workload models: layer specs, the benchmark zoo, serving shapes."""
 
 from repro.models.layers import (
     ConvLayer,
@@ -7,8 +7,9 @@ from repro.models.layers import (
     GemmOp,
     Network,
 )
-from repro.models import zoo
+from repro.models import serving, zoo
 from repro.models.random_net import random_network
+from repro.models.serving import ServingParams
 
 __all__ = [
     "ConvLayer",
@@ -16,6 +17,8 @@ __all__ = [
     "EmbeddingLayer",
     "GemmOp",
     "Network",
+    "ServingParams",
+    "serving",
     "zoo",
     "random_network",
 ]

@@ -95,7 +95,10 @@ class ConvLayer:
     padding: int = 0
 
     def __post_init__(self) -> None:
-        for field in ("in_channels", "in_h", "in_w", "out_channels", "kernel_h", "kernel_w", "stride"):
+        for field in (
+            "in_channels", "in_h", "in_w",
+            "out_channels", "kernel_h", "kernel_w", "stride",
+        ):
             if getattr(self, field) <= 0:
                 raise ValueError(f"{field} must be positive")
         if self.padding < 0:

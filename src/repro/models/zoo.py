@@ -45,10 +45,18 @@ def alexnet(scale: int = 1) -> Network:
     s = scale
     layers: list[Layer] = [
         ConvLayer("conv1", 3, _sp(227, s), _sp(227, s), _ch(96, s), 11, 11, stride=4),
-        ConvLayer("conv2", _ch(96, s), _sp(27, s), _sp(27, s), _ch(256, s), 5, 5, padding=2),
-        ConvLayer("conv3", _ch(256, s), _sp(13, s), _sp(13, s), _ch(384, s), 3, 3, padding=1),
-        ConvLayer("conv4", _ch(384, s), _sp(13, s), _sp(13, s), _ch(384, s), 3, 3, padding=1),
-        ConvLayer("conv5", _ch(384, s), _sp(13, s), _sp(13, s), _ch(256, s), 3, 3, padding=1),
+        ConvLayer(
+            "conv2", _ch(96, s), _sp(27, s), _sp(27, s), _ch(256, s), 5, 5, padding=2
+        ),
+        ConvLayer(
+            "conv3", _ch(256, s), _sp(13, s), _sp(13, s), _ch(384, s), 3, 3, padding=1
+        ),
+        ConvLayer(
+            "conv4", _ch(384, s), _sp(13, s), _sp(13, s), _ch(384, s), 3, 3, padding=1
+        ),
+        ConvLayer(
+            "conv5", _ch(384, s), _sp(13, s), _sp(13, s), _ch(256, s), 3, 3, padding=1
+        ),
         DenseLayer("fc6", _ch(4096, s), _ch(9216, s), 1),
         DenseLayer("fc7", _ch(4096, s), _ch(4096, s), 1),
         DenseLayer("fc8", 1000 if s == 1 else _ch(1000, s), _ch(4096, s), 1),
@@ -60,7 +68,9 @@ def resnet50(scale: int = 1) -> Network:
     """ResNet-50: 7x7 stem + 16 bottleneck blocks (stages 3/4/6/3) + FC."""
     s = scale
     layers: list[Layer] = [
-        ConvLayer("stem", 3, _sp(224, s), _sp(224, s), _ch(64, s), 7, 7, stride=2, padding=3)
+        ConvLayer(
+            "stem", 3, _sp(224, s), _sp(224, s), _ch(64, s), 7, 7, stride=2, padding=3
+        )
     ]
     stage_blocks = (3, 4, 6, 3)
     stage_channels = (64, 128, 256, 512)
@@ -99,7 +109,10 @@ def yolo_tiny(scale: int = 1) -> Network:
         layers.append(ConvLayer(f"conv{index}", cin, size, size, cout, 3, 3, padding=1))
         cin = cout
     layers.append(
-        ConvLayer("head", cin, _sp(13, sp_scale), _sp(13, sp_scale), _ch(128, ch_scale, floor=16), 1, 1)
+        ConvLayer(
+            "head", cin, _sp(13, sp_scale), _sp(13, sp_scale),
+            _ch(128, ch_scale, floor=16), 1, 1,
+        )
     )
     return Network("yt", tuple(layers))
 
@@ -174,7 +187,9 @@ def dlrm(scale: int = 1, batch: int | None = None) -> Network:
     tables_per_group = 26 // groups
     for group in range(groups):
         layers.append(
-            EmbeddingLayer(f"emb{group}", lookups=tables_per_group, dim=dim, batch=emb_batch)
+            EmbeddingLayer(
+                f"emb{group}", lookups=tables_per_group, dim=dim, batch=emb_batch
+            )
         )
     layers.extend(
         [

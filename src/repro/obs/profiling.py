@@ -94,7 +94,9 @@ def format_profile(snapshot: Mapping[str, Any]) -> str:
     def row(name: str, seconds: float, entries: int | None) -> None:
         share = f"{seconds / elapsed:6.1%}" if elapsed > 0 else "   n/a"
         count = "" if entries is None else str(entries)
-        lines.append(f"{name:<14s} {human_seconds(seconds):>10s} {share:>7s} {count:>8s}")
+        lines.append(
+            f"{name:<14s} {human_seconds(seconds):>10s} {share:>7s} {count:>8s}"
+        )
 
     phases = snapshot["phases"]
     ordered = [name for name in RUNNER_PHASES if name in phases]

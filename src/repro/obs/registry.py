@@ -271,7 +271,9 @@ def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict[str, Any]:
     merged: dict[str, Any] = {}
     for snap in snapshots:
         if snap.get("schema") != COUNTERS_SCHEMA:
-            raise ValueError(f"cannot merge snapshot with schema {snap.get('schema')!r}")
+            raise ValueError(
+                f"cannot merge snapshot with schema {snap.get('schema')!r}"
+            )
         for path, metric in snap["metrics"].items():
             if path not in merged:
                 merged[path] = json_copy(metric)

@@ -44,8 +44,14 @@ class TestChannelScheduling:
         engine = Engine()
         channel = _channel(engine, refresh_enabled=False)
         times = {}
-        channel.enqueue(_request(0, bank=0, row=0, done=lambda: times.setdefault("a", engine.now)))
-        channel.enqueue(_request(TXN, bank=0, row=1, done=lambda: times.setdefault("b", engine.now)))
+        channel.enqueue(
+            _request(0, bank=0, row=0, done=lambda: times.setdefault("a", engine.now))
+        )
+        channel.enqueue(
+            _request(
+                TXN, bank=0, row=1, done=lambda: times.setdefault("b", engine.now)
+            )
+        )
         engine.run()
         timing = channel.cfg.timing
         gap = times["b"] - times["a"]
@@ -56,8 +62,14 @@ class TestChannelScheduling:
         engine = Engine()
         channel = _channel(engine, refresh_enabled=False)
         times = {}
-        channel.enqueue(_request(0, bank=0, row=0, done=lambda: times.setdefault("a", engine.now)))
-        channel.enqueue(_request(TXN, bank=1, row=0, done=lambda: times.setdefault("b", engine.now)))
+        channel.enqueue(
+            _request(0, bank=0, row=0, done=lambda: times.setdefault("a", engine.now))
+        )
+        channel.enqueue(
+            _request(
+                TXN, bank=1, row=0, done=lambda: times.setdefault("b", engine.now)
+            )
+        )
         engine.run()
         # Bank 1 prepared while bank 0 transferred: only a burst apart.
         assert times["b"] - times["a"] == channel.burst_ticks
@@ -66,7 +78,12 @@ class TestChannelScheduling:
         engine = Engine()
         channel = _channel(engine, refresh_enabled=False)
         times = {}
-        channel.enqueue(_request(0, bank=0, row=0, write=True, done=lambda: times.setdefault("w", engine.now)))
+        channel.enqueue(
+            _request(
+                0, bank=0, row=0, write=True,
+                done=lambda: times.setdefault("w", engine.now),
+            )
+        )
         engine.run()
         bank = channel.banks[0]
         # tWR must be reflected in the bank's next column availability.
@@ -91,8 +108,15 @@ class TestChannelScheduling:
         channel = _channel(engine, cfg=cfg)
         order = []
         for index in range(4):
-            channel.enqueue(_request(index * TXN, row=0, done=lambda i=index: order.append(f"d{i}")))
-        channel.enqueue(_request(99 * 4096, bank=1, row=7, is_walk=True, done=lambda: order.append("walk")))
+            channel.enqueue(
+                _request(index * TXN, row=0, done=lambda i=index: order.append(f"d{i}"))
+            )
+        channel.enqueue(
+            _request(
+                99 * 4096, bank=1, row=7, is_walk=True,
+                done=lambda: order.append("walk"),
+            )
+        )
         engine.run()
         # Without priority the walk (row miss, arrived last) finishes last.
         assert order[-1] == "walk"

@@ -63,7 +63,9 @@ class TestAddressDecomposition:
     def test_decompose_is_deterministic(self):
         engine = Engine()
         controller = _controller(engine)
-        assert controller.decompose(0, 12345 * TXN) == controller.decompose(0, 12345 * TXN)
+        assert controller.decompose(0, 12345 * TXN) == controller.decompose(
+            0, 12345 * TXN
+        )
 
     def test_bank_in_range(self):
         engine = Engine()
@@ -98,13 +100,21 @@ class TestChannelTiming:
     def test_row_misses_slower_than_hits(self):
         engine = Engine()
         controller = _controller(engine, channels=1, refresh_enabled=False)
-        row_span = (controller.cfg.row_bytes // TXN) * TXN * controller.cfg.banks_per_channel
+        row_span = (
+            (controller.cfg.row_bytes // TXN) * TXN
+            * controller.cfg.banks_per_channel
+        )
         same_row = [(0, i * TXN, False) for i in range(4)]
         alt_rows = [
             (0, (i % 2) * row_span * controller.cfg.rows_per_bank // 2 + 0, False)
             for i in range(4)
         ]
-        t_hit = max(_drain(Engine(), _controller(Engine(), channels=1, refresh_enabled=False), []).values(), default=0)
+        t_hit = max(
+            _drain(
+                Engine(), _controller(Engine(), channels=1, refresh_enabled=False), []
+            ).values(),
+            default=0,
+        )
         engine_a = Engine()
         ctrl_a = _controller(engine_a, channels=1, refresh_enabled=False)
         done_a = _drain(engine_a, ctrl_a, same_row)
@@ -156,8 +166,12 @@ class TestChannelTiming:
         controller = _controller(engine, channels=1, refresh_enabled=False)
         done = []
         for i in range(FR_WINDOW):
-            controller.submit(0, i * TXN, False, callback=lambda i=i: done.append(f"d{i}"))
-        controller.submit(0, 99 * TXN, False, callback=lambda: done.append("walk"), is_walk=True)
+            controller.submit(
+                0, i * TXN, False, callback=lambda i=i: done.append(f"d{i}")
+            )
+        controller.submit(
+            0, 99 * TXN, False, callback=lambda: done.append("walk"), is_walk=True
+        )
         engine.run()
         # The walk entered last but must complete before most data bursts.
         assert done.index("walk") < FR_WINDOW // 2

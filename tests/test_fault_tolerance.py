@@ -66,7 +66,9 @@ class TestCacheQuarantine:
         assert fresh.quarantined == 1
         quarantine = cache / QUARANTINE_DIR
         assert list(quarantine.iterdir())
-        assert any("quarantined corrupt cache shard" in r.message for r in caplog.records)
+        assert any(
+            "quarantined corrupt cache shard" in r.message for r in caplog.records
+        )
         # The shard was re-written and now validates again.
         rereader = _make_runner(cache)
         assert rereader.run(spec) == expected

@@ -27,10 +27,13 @@ class StubRunner:
     scale = "mini"
     dataflow = "os"
     replay_mode = "event"
+    phase = None
+    serving = None
     plan_solo = ExperimentRunner.plan_solo
     plan_ideal = ExperimentRunner.plan_ideal
     plan_static_equal = ExperimentRunner.plan_static_equal
     plan_mix = ExperimentRunner.plan_mix
+    _plan_serving = ExperimentRunner._plan_serving
 
     def __init__(self):
         self.per_core = {"channels": 4, "num_ptw": 1, "tlb_entries": 64}

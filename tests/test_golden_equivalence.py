@@ -32,7 +32,8 @@ import pytest
 from repro.core.simulator import MultiCoreNPUSim
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.spec import RunSpec
-from repro.models import zoo
+from repro.models import serving
+from repro.models.serving import ServingParams
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "expected.json"
 
@@ -89,6 +90,31 @@ CORPUS: tuple[tuple[str, RunSpec], ...] = (
         "mix-ncf-dlrm-D-auto",
         RunSpec.mix(("ncf", "dlrm"), "D", scale="mini", replay_mode="auto"),
     ),
+    # LLM-serving goldens: both phases solo, a prefill/decode co-location
+    # under a shared TLB, and a zipf-routed decode pair under private
+    # TLBs.  These pin the seeded arrival + MoE routing traces end to
+    # end: any drift in the serving frontend changes integer cycles here.
+    (
+        "solo-gpt2-prefill-2ch",
+        RunSpec.solo("gpt2:prefill", scale="mini", channels=2),
+    ),
+    (
+        "solo-gpt2-decode-2ch",
+        RunSpec.solo("gpt2:decode", scale="mini", channels=2),
+    ),
+    (
+        "mix-gpt2-prefill-decode-DWT",
+        RunSpec.mix(("gpt2:prefill", "gpt2:decode"), "DWT", scale="mini"),
+    ),
+    (
+        "mix-gpt2-decode-decode-zipf-DW",
+        RunSpec.mix(
+            ("gpt2:decode", "gpt2:decode"),
+            "DW",
+            scale="mini",
+            serving=ServingParams(moe_skew="zipf"),
+        ),
+    ),
 )
 
 CORPUS_IDS = [name for name, _ in CORPUS]
@@ -97,7 +123,9 @@ MAX_TICKS = 50_000_000_000
 
 def simulate(spec: RunSpec):
     """One direct :class:`MultiCoreNPUSim` run of ``spec``."""
-    networks = [zoo.get(name, spec.scale) for name in spec.workloads]
+    networks = serving.networks_for(
+        spec.workloads, spec.scale, params=spec.serving, default_phase=spec.phase
+    )
     sim = MultiCoreNPUSim(spec.system(), networks)
     return sim.run(max_ticks=MAX_TICKS)
 
@@ -230,6 +258,18 @@ def test_corpus_covers_required_axes():
     assert any(
         s.kind == "mix" and s.replay_mode == "auto" for s in specs.values()
     ), "need a mix where auto must fall back to per-event replay"
+    pinned_phases = {
+        phase
+        for s in specs.values()
+        for phase in (serving.split_name(name)[1] for name in s.workloads)
+        if phase is not None
+    }
+    assert pinned_phases == set(serving.PHASES), (
+        "both serving phases need pinned golden runs"
+    )
+    assert any(s.serving is not None for s in specs.values()), (
+        "need a non-default ServingParams golden (seeded MoE routing)"
+    )
 
 
 @pytest.mark.parametrize(
@@ -321,7 +361,9 @@ def test_observability_is_byte_invisible(name, snapshots):
     workload metrics — exactly as the goldens pin them.
     """
     spec = dict(CORPUS)[name]
-    networks = [zoo.get(workload, spec.scale) for workload in spec.workloads]
+    networks = serving.networks_for(
+        spec.workloads, spec.scale, params=spec.serving, default_phase=spec.phase
+    )
     sim = MultiCoreNPUSim(spec.system(), networks, observe=True)
     mix = sim.run(max_ticks=MAX_TICKS)
     want = {

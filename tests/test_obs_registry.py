@@ -88,7 +88,9 @@ class TestHistogram:
         histogram = Histogram(bounds=(10,))
         histogram.record(3)
         histogram.reset()
-        assert histogram.read() == {"count": 0, "sum": 0, "buckets": [[10, 0], ["inf", 0]]}
+        assert histogram.read() == {
+            "count": 0, "sum": 0, "buckets": [[10, 0], ["inf", 0]],
+        }
 
 
 class TestSnapshot:

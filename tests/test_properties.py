@@ -52,7 +52,9 @@ class TestTilingProperties:
     @given(gemms())
     @settings(max_examples=40, deadline=None)
     def test_write_traffic_covers_output_exactly_once(self, gemm):
-        gen = RequestGenerator(Network("n", (DenseLayer("l", gemm.m, gemm.k, gemm.n),)), small_arch)
+        gen = RequestGenerator(
+            Network("n", (DenseLayer("l", gemm.m, gemm.k, gemm.n),)), small_arch
+        )
         write_txns = sum(t.write_txns for t in gen.all_tiles())
         txn = small_arch.dram_transaction_bytes
         # Writes cover the C matrix rows; alignment may round each row

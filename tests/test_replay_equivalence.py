@@ -72,7 +72,9 @@ def _run_system(system: SystemConfig, networks, mode: str):
     return sim, result
 
 
-def assert_system_equivalent(system: SystemConfig, networks) -> dict[str, MultiCoreNPUSim]:
+def assert_system_equivalent(
+    system: SystemConfig, networks
+) -> dict[str, MultiCoreNPUSim]:
     """Simulate ``system`` under every replay mode; assert byte-identity.
 
     Returns the per-mode simulators so callers can make additional

@@ -19,7 +19,9 @@ class TestSharingLevel:
 
     def test_sharing_is_cumulative(self):
         # Each level shares a superset of the previous one's resources.
-        ordered = [SharingLevel.STATIC, SharingLevel.D, SharingLevel.DW, SharingLevel.DWT]
+        ordered = [
+            SharingLevel.STATIC, SharingLevel.D, SharingLevel.DW, SharingLevel.DWT,
+        ]
         for prev, cur in zip(ordered, ordered[1:]):
             for flag in ("share_dram", "share_ptw", "share_tlb"):
                 assert getattr(cur, flag) >= getattr(prev, flag)

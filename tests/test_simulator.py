@@ -23,7 +23,10 @@ NPUMEM = NpuMemConfig(tlb_entries=16, tlb_assoc=4, num_ptw=1, pwc_entries=8)
 
 
 def _net(name="w", m=64, k=128, n=64):
-    return Network(name, (DenseLayer(f"{name}_l0", m, k, n), DenseLayer(f"{name}_l1", m, m, n)))
+    return Network(
+        name,
+        (DenseLayer(f"{name}_l0", m, k, n), DenseLayer(f"{name}_l1", m, m, n)),
+    )
 
 
 def _system(cores=1, channels=2, sharing=SharingLevel.DWT, iterations=1, **kwargs):
@@ -75,7 +78,9 @@ class TestSingleCore:
         assert fast.workloads[0].walks == 0
 
     def test_more_channels_never_slower(self):
-        narrow = MultiCoreNPUSim(_system(channels=1), [_net()]).run(max_ticks=10_000_000)
+        narrow = MultiCoreNPUSim(_system(channels=1), [_net()]).run(
+            max_ticks=10_000_000
+        )
         wide = MultiCoreNPUSim(_system(channels=4), [_net()]).run(max_ticks=10_000_000)
         assert wide.workloads[0].cycles <= narrow.workloads[0].cycles
 

@@ -11,6 +11,7 @@ from repro.core.sharing import SharingLevel
 from repro.experiments.runner import JOURNAL_NAME, ExperimentRunner
 from repro.experiments.spec import RESULTS_VERSION, RunSpec
 from repro.models.layers import DenseLayer, Network
+from repro.models.serving import ServingParams
 
 
 def _tiny(name="tiny", dims=(16, 32, 16)):
@@ -45,6 +46,13 @@ class TestCacheKey:
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.D, ptw_split=(1, 3)),
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, dataflow="ws"),
             RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, dataflow="is"),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT, phase="decode"),
+            RunSpec.mix(
+                ("ncf", "gpt2"),
+                SharingLevel.DWT,
+                phase="decode",
+                serving=ServingParams(experts=8),
+            ),
             dataclasses.replace(base, version=RESULTS_VERSION + 1),
         ]
         keys = {spec.cache_key() for spec in variants}
@@ -163,6 +171,93 @@ class TestValidation:
         assert not split.share_ptw
         assert split.ptw_assignment == (1, 3)
         assert split.npumem[0].num_ptw == 2
+
+
+class TestServingSpec:
+    """Serving fields ride the same descriptor-omission contract as
+    dataflow/replay_mode: absent at defaults, so every pre-serving cache
+    key survives; present (and key-changing) whenever set."""
+
+    def test_defaults_are_omitted_from_descriptor(self):
+        for spec in (
+            RunSpec.solo("ncf"),
+            RunSpec.mix(("ncf", "gpt2"), SharingLevel.DWT),
+            RunSpec.mix(("gpt2:prefill", "gpt2:decode"), SharingLevel.DWT),
+        ):
+            descriptor = spec.descriptor()
+            assert "phase" not in descriptor
+            assert "serving" not in descriptor
+
+    def test_default_params_normalize_to_none(self):
+        # serving=ServingParams() means "all defaults" — the spec must
+        # dedupe and key identically to the spec that never set it.
+        explicit = RunSpec.mix(
+            ("gpt2:prefill", "gpt2:decode"),
+            SharingLevel.DWT,
+            serving=ServingParams(),
+        )
+        implicit = RunSpec.mix(("gpt2:prefill", "gpt2:decode"), SharingLevel.DWT)
+        assert explicit.serving is None
+        assert explicit == implicit
+        assert explicit.cache_key() == implicit.cache_key()
+
+    def test_non_default_serving_lands_in_descriptor_and_label(self):
+        spec = RunSpec.mix(
+            ("gpt2:prefill", "gpt2:decode"),
+            SharingLevel.DWT,
+            serving=ServingParams(moe_skew="zipf"),
+        )
+        descriptor = spec.descriptor()
+        assert descriptor["serving"]["moe_skew"] == "zipf"
+        assert "srv[moe_skew=zipf]" in spec.label
+
+    def test_phase_lands_in_descriptor_and_label(self):
+        spec = RunSpec.solo("gpt2", phase="prefill")
+        assert spec.descriptor()["phase"] == "prefill"
+        assert " ph=prefill" in spec.label
+        assert spec.cache_key() != RunSpec.solo("gpt2").cache_key()
+
+    def test_phase_needs_a_bare_serving_base(self):
+        with pytest.raises(ValueError, match="bare serving-base"):
+            RunSpec.solo("ncf", phase="prefill")
+        with pytest.raises(ValueError, match="bare serving-base"):
+            # already qualified: nothing left for the default to bind to
+            RunSpec.solo("gpt2:prefill", phase="decode")
+
+    def test_serving_params_need_a_serving_workload(self):
+        with pytest.raises(ValueError, match="serving workload"):
+            RunSpec.mix(
+                ("ncf", "dlrm"),
+                SharingLevel.DWT,
+                serving=ServingParams(experts=8),
+            )
+
+    def test_bad_workload_names_rejected(self):
+        with pytest.raises(ValueError, match="no serving frontend"):
+            RunSpec.solo("ncf:prefill")
+        with pytest.raises(ValueError, match="unknown phase"):
+            RunSpec.solo("gpt2:flarp")
+        with pytest.raises(ValueError, match="unknown phase"):
+            RunSpec.solo("gpt2", phase="warmup")
+
+    def test_runner_defaults_bind_only_to_serving_workloads(self, tmp_path):
+        runner = ExperimentRunner(
+            cache_dir=tmp_path,
+            phase="decode",
+            serving=ServingParams(moe_skew="zipf"),
+        )
+        bound = runner.plan_solo("gpt2")
+        assert bound.phase == "decode"
+        assert bound.serving == ServingParams(moe_skew="zipf")
+        # Non-serving workloads planned through the same runner must not
+        # inherit the defaults (they would fail RunSpec validation).
+        plain = runner.plan_solo("ncf")
+        assert plain.phase is None and plain.serving is None
+        qualified = runner.plan_mix(
+            ("gpt2:prefill", "gpt2:decode"), SharingLevel.DWT
+        )
+        assert qualified.phase is None
+        assert qualified.serving == ServingParams(moe_skew="zipf")
 
 
 def _sweep_specs(runner, dims=(16, 32, 16)):

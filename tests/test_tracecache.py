@@ -97,7 +97,8 @@ class TestFingerprint:
         )
 
     @pytest.mark.parametrize(
-        "field, value", [("name", "other"), ("freq_mhz", 123), ("dma_issue_per_cycle", 99)]
+        "field, value",
+        [("name", "other"), ("freq_mhz", 123), ("dma_issue_per_cycle", 99)],
     )
     def test_replay_side_arch_fields_shared(self, network, arch, field, value):
         """Frequency/DMA width/naming do not change which requests exist."""

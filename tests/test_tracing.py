@@ -88,7 +88,9 @@ class TestTraceLogger:
         # dramreq.log is completion-ordered.
         ends = [
             int(line.split()[0])
-            for line in (tmp_path / "dramsim_output" / "dramreq.log").read_text().splitlines()
+            for line in (tmp_path / "dramsim_output" / "dramreq.log")
+            .read_text()
+            .splitlines()
         ]
         assert ends == sorted(ends)
 
